@@ -1,0 +1,92 @@
+// Ablation: forecast model (EWMA vs moving average vs Holt linear).
+//
+// The paper adopts EWMA (Eq. 1); the sketch change-detection literature it
+// builds on (IMC'03) also evaluates moving-average and Holt models. The
+// interesting regime is a RAMPING baseline — e.g. the morning traffic rise
+// on a campus edge — where plain EWMA lags and its forecast error
+// accumulates false mass. We synthesize a trace whose benign load doubles
+// linearly over 20 minutes with a mid-ramp flood, and compare models.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "gen/attacks.hpp"
+#include "gen/background.hpp"
+
+namespace hifind::bench {
+namespace {
+
+/// Trace with linearly ramping background (cps0 -> cps1) and one flood.
+Scenario ramping_scenario(std::uint64_t seed, double cps0, double cps1,
+                          std::uint32_t minutes) {
+  NetworkModelConfig net_cfg;
+  net_cfg.seed = mix64(seed);
+  Scenario scenario(net_cfg);
+  Pcg32 rng(seed);
+
+  for (std::uint32_t m = 0; m < minutes; ++m) {
+    BackgroundConfig bg;
+    bg.connections_per_second =
+        cps0 + (cps1 - cps0) * m / static_cast<double>(minutes - 1);
+    bg.seed = mix64(seed ^ (m + 1));
+    Trace chunk;
+    generate_background(bg, scenario.network, 60 * kMicrosPerSecond, {},
+                        chunk, scenario.truth);
+    for (PacketRecord p : chunk.packets()) {
+      p.ts += Timestamp{m} * 60 * kMicrosPerSecond;
+      scenario.trace.push_back(p);
+    }
+  }
+
+  SynFloodSpec flood;
+  const Service& victim = scenario.network.services()[0];
+  flood.victim_ip = victim.ip;
+  flood.victim_port = victim.port;
+  flood.start = Timestamp{minutes / 2} * 60 * kMicrosPerSecond;
+  flood.duration = 180 * kMicrosPerSecond;
+  flood.rate_pps = 400;
+  inject_syn_flood(flood, scenario.network, rng, scenario.trace,
+                   scenario.truth);
+  scenario.trace.sort();
+  return scenario;
+}
+
+void run() {
+  const Scenario scenario = ramping_scenario(87, 40.0, 160.0, 20);
+  const IntervalClock clock(60);
+
+  TablePrinter table(
+      "Ablation: forecast model under a ramping baseline (40->160 cps over "
+      "20 min, one mid-ramp flood)");
+  table.header({"model", "final alerts", "matched", "unexplained",
+                "flood detected"});
+  const struct {
+    const char* name;
+    ForecastModel model;
+  } kModels[] = {{"EWMA (paper)", ForecastModel::kEwma},
+                 {"moving average (w=5)", ForecastModel::kMovingAverage},
+                 {"Holt linear", ForecastModel::kHolt}};
+  for (const auto& m : kModels) {
+    PipelineConfig pc = default_pipeline_config();
+    pc.detector.forecast_model = m.model;
+    Pipeline pipeline(pc);
+    const auto results = pipeline.run(scenario.trace);
+    const EvaluationSummary s = evaluate(results, scenario.truth, clock);
+    table.row({m.name, std::to_string(s.alerts_total),
+               std::to_string(s.alerts_matched),
+               std::to_string(s.alerts_unexplained),
+               s.attack_events_detected > 0 ? "Yes" : "No"});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: all models must catch the flood; the comparison "
+               "is in unexplained (ramp-induced) alerts, where trend-aware "
+               "models should not be worse than EWMA.\n";
+}
+
+}  // namespace
+}  // namespace hifind::bench
+
+int main() {
+  hifind::bench::run();
+  return 0;
+}

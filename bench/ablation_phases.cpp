@@ -1,0 +1,94 @@
+// Ablation: what each false-positive reduction stage contributes.
+//
+// Runs the NU-like scenario with Phase 2 (2D classification) and each
+// Phase-3 heuristic toggled individually, reporting final alert counts,
+// ground-truth precision and event recall. The design claims to check:
+//   - Phase 2 removes scan alerts caused by floods without losing real scans;
+//   - each Phase-3 filter (ratio / service history / SYN surge /
+//     persistence) removes a distinct benign-anomaly class;
+//   - the full stack reaches ~perfect precision at small recall cost.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+
+namespace hifind::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  HifindDetectorConfig config;
+};
+
+void run() {
+  const Scenario scenario = build_scenario(nu_like_config(81, 900));
+  const IntervalClock clock(60);
+
+  const HifindDetectorConfig base = default_pipeline_config().detector;
+  std::vector<Variant> variants;
+  {
+    Variant v{"full pipeline", base};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no phase 2 (2D)", base};
+    v.config.enable_phase2 = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no phase 3 (all flood filters)", base};
+    v.config.enable_phase3 = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no ratio filter", base};
+    v.config.min_syn_ratio = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no service-history filter", base};
+    v.config.min_service_history = -1.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no SYN-surge filter", base};
+    v.config.min_syn_surge_fraction = -1e9;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no persistence filter", base};
+    v.config.min_persist_intervals = 1;
+    variants.push_back(v);
+  }
+
+  TablePrinter table("Ablation: contribution of each FP-reduction stage "
+                     "(NU-like trace)");
+  table.header({"variant", "final alerts", "matched", "benign-cause",
+                "unexplained", "precision", "event recall"});
+  for (const Variant& v : variants) {
+    PipelineConfig pc = default_pipeline_config();
+    pc.detector = v.config;
+    Pipeline pipeline(pc);
+    const auto results = pipeline.run(scenario.trace);
+    const EvaluationSummary s = evaluate(results, scenario.truth, clock);
+    char precision[16], recall[16];
+    std::snprintf(precision, sizeof(precision), "%.3f", s.precision());
+    std::snprintf(recall, sizeof(recall), "%.3f", s.event_recall());
+    table.row({v.name, std::to_string(s.alerts_total),
+               std::to_string(s.alerts_matched),
+               std::to_string(s.alerts_benign_cause),
+               std::to_string(s.alerts_unexplained), precision, recall});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: disabling a stage should raise benign-cause or "
+               "unexplained alerts while recall stays ~flat; the full "
+               "pipeline should dominate on precision.\n";
+}
+
+}  // namespace
+}  // namespace hifind::bench
+
+int main() {
+  hifind::bench::run();
+  return 0;
+}

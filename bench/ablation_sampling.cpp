@@ -1,0 +1,79 @@
+// Ablation: packet sampling vs full-stream sketching.
+//
+// The paper's Sec. 2 dismisses vendor "multi-gigabit statistical IDSes"
+// because they rely on packet sampling. This bench quantifies the claim on
+// our traces: sample packets at rate 1/N, record survivors with weight N
+// (unbiased counters), and measure what detection loses. Floods (thousands
+// of SYNs) survive heavy sampling; scans near the threshold disappear —
+// sampling throws away exactly the per-flow evidence flow-level detection
+// needs. Sketches let HiFIND keep rate 1 at line speed, which is the point.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+
+namespace hifind::bench {
+namespace {
+
+EvaluationSummary run_sampled(const Scenario& scenario, double rate,
+                              std::uint64_t seed) {
+  PipelineConfig pc = default_pipeline_config();
+  // Scaled-up sampled counters are noisy: a single surviving stray SYN at
+  // weight 1/rate can clear the threshold, flooding inference with spurious
+  // heavy buckets. Run in top-anomalies mode so the comparison measures
+  // detection power, not inference patience.
+  pc.detector.inference.max_heavy_per_stage = 100;
+  SketchBank bank(pc.bank);
+  HifindDetector detector(pc.detector);
+  IntervalClock clock(60);
+  Pcg32 rng(seed);
+
+  std::vector<IntervalResult> results;
+  std::uint64_t current = 0;
+  bool any = false;
+  for (const auto& p : scenario.trace.packets()) {
+    const std::uint64_t iv = clock.interval_of(p.ts);
+    if (!any) {
+      current = iv;
+      any = true;
+    }
+    while (current < iv) {
+      results.push_back(detector.process(bank, current++));
+      bank.clear();
+    }
+    if (rate >= 1.0 || rng.chance(rate)) {
+      bank.record(p, 1.0 / rate);
+    }
+  }
+  results.push_back(detector.process(bank, current));
+  return evaluate(results, scenario.truth, clock);
+}
+
+void run() {
+  const Scenario scenario = build_scenario(nu_like_config(93, 900));
+
+  TablePrinter table(
+      "Ablation: packet sampling (record 1/N of packets at weight N)");
+  table.header({"sampling", "final alerts", "precision", "event recall"});
+  for (const double rate : {1.0, 0.5, 0.1, 0.05}) {
+    const EvaluationSummary s = run_sampled(scenario, rate, 4242);
+    char name[16], prec[16], rec[16];
+    std::snprintf(name, sizeof(name), "1/%.0f", 1.0 / rate);
+    std::snprintf(prec, sizeof(prec), "%.3f", s.precision());
+    std::snprintf(rec, sizeof(rec), "%.3f", s.event_recall());
+    table.row({name, std::to_string(s.alerts_total), prec, rec});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: recall should fall with the sampling rate as "
+               "near-threshold scans drop below detectability, while the "
+               "(large) floods survive — the paper's argument against "
+               "sampling-based IDSes.\n";
+}
+
+}  // namespace
+}  // namespace hifind::bench
+
+int main() {
+  hifind::bench::run();
+  return 0;
+}

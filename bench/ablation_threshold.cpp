@@ -1,0 +1,59 @@
+// Ablation: detection-threshold sweep.
+//
+// The paper fixes the threshold at 1 un-responded SYN per second (Sec. 5.1)
+// for both datasets. This sweep shows the trade-off that sits behind the
+// choice: lower thresholds catch slower scans (higher event recall) but let
+// sketch noise and benign failure bursts through (lower precision) and blow
+// up inference work; higher thresholds miss the stealthy tail the paper's
+// Table 5 discussion acknowledges losing to TRW.
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+
+namespace hifind::bench {
+namespace {
+
+void run() {
+  const Scenario scenario = build_scenario(nu_like_config(85, 900));
+  const IntervalClock clock(60);
+
+  TablePrinter table("Ablation: threshold sweep (NU-like trace; paper uses "
+                     "1.0 un-responded SYN/s)");
+  table.header({"threshold (SYN/s)", "final alerts", "precision",
+                "event recall", "run time (s)"});
+  // Thresholds below ~0.5/s make nearly every bursty benign key anomalous;
+  // even in top-N mode the slack-1 search over hundreds of heavy buckets per
+  // 2^12-bucket stage is intractable (cross-product growth — see DESIGN.md),
+  // which is itself a finding: the paper's 1/s threshold is also what keeps
+  // inference cheap.
+  for (const double t : {0.5, 1.0, 2.0, 4.0}) {
+    PipelineConfig pc = default_pipeline_config();
+    pc.detector.syn_rate_threshold = t;
+    // Top-anomalies mode keeps inference cost proportional at aggressive
+    // thresholds (how a real deployment would run them).
+    pc.detector.inference.max_heavy_per_stage = 100;
+    Pipeline pipeline(pc);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = pipeline.run(scenario.trace);
+    const auto t1 = std::chrono::steady_clock::now();
+    const EvaluationSummary s = evaluate(results, scenario.truth, clock);
+    char tc[16], prec[16], rec[16], secs[16];
+    std::snprintf(tc, sizeof(tc), "%.2f", t);
+    std::snprintf(prec, sizeof(prec), "%.3f", s.precision());
+    std::snprintf(rec, sizeof(rec), "%.3f", s.event_recall());
+    std::snprintf(secs, sizeof(secs), "%.1f",
+                  std::chrono::duration<double>(t1 - t0).count());
+    table.row({tc, std::to_string(s.alerts_total), prec, rec, secs});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace hifind::bench
+
+int main() {
+  hifind::bench::run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared plumbing for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/trw.hpp"
+#include "common/interval.hpp"
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "gen/scenario.hpp"
+
+namespace hifind::bench {
+
+/// Default pipeline configuration for every bench: paper shapes, 60 s
+/// intervals, 1 un-responded SYN/s threshold.
+inline PipelineConfig default_pipeline_config() {
+  PipelineConfig c;
+  c.bank.seed = 42;
+  c.detector.interval_seconds = 60;
+  c.detector.syn_rate_threshold = 1.0;
+  return c;
+}
+
+/// Sums per-phase alert counts of one attack type across a run.
+struct PhaseCounts {
+  std::size_t raw{0};
+  std::size_t after_2d{0};
+  std::size_t final{0};
+};
+
+inline PhaseCounts count_phases(const std::vector<IntervalResult>& results,
+                                AttackType type) {
+  PhaseCounts c;
+  for (const auto& r : results) {
+    c.raw += IntervalResult::count(r.raw, type);
+    c.after_2d += IntervalResult::count(r.after_2d, type);
+    c.final += IntervalResult::count(r.final, type);
+  }
+  return c;
+}
+
+/// Runs TRW over a trace with interval flushes; returns it for inspection.
+inline Trw run_trw(const Trace& trace, const TrwConfig& config = {}) {
+  Trw trw(config);
+  IntervalClock clock(60);
+  std::uint64_t current = 0;
+  bool any = false;
+  for (const auto& p : trace.packets()) {
+    const std::uint64_t iv = clock.interval_of(p.ts);
+    if (!any) {
+      current = iv;
+      any = true;
+    }
+    while (current < iv) {
+      trw.flush(clock.interval_start(++current));
+    }
+    trw.observe(p);
+  }
+  trw.flush(trace.stats().last_ts + 61 * kMicrosPerSecond);
+  return trw;
+}
+
+inline std::string yes_no(bool b) { return b ? "Yes" : "No"; }
+
+}  // namespace hifind::bench

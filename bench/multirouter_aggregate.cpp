@@ -1,0 +1,114 @@
+// Sec. 5.3.2 reproduction: aggregated detection over multiple routers.
+//
+// The NU-like trace is split over 3 edge routers with per-packet load
+// balancing (each packet takes a uniformly random router, so a connection's
+// SYN and SYN/ACK separate with probability 2/3). Expected results:
+//   - HiFIND on the COMBINED sketches == HiFIND single-router, exactly;
+//   - TRW run per-router with summed alerts gains false positives
+//     (split benign connections look like failures) relative to TRW on the
+//     whole traffic.
+#include <iostream>
+#include <set>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "router/distributed.hpp"
+
+namespace hifind::bench {
+namespace {
+
+void run() {
+  const Scenario scenario = build_scenario(nu_like_config(91, 1200));
+  const PipelineConfig pc = default_pipeline_config();
+
+  // Single-router reference.
+  Pipeline single(pc);
+  const auto ref = single.run(scenario.trace);
+
+  // Distributed: 3 routers, per-packet random split, central COMBINE.
+  DistributedMonitor mon(3, pc.bank, pc.detector);
+  IntervalClock clock(60);
+  std::vector<IntervalResult> agg;
+  std::uint64_t current = 0;
+  bool any = false;
+  for (const auto& p : scenario.trace.packets()) {
+    const std::uint64_t iv = clock.interval_of(p.ts);
+    if (!any) {
+      current = iv;
+      any = true;
+    }
+    while (current < iv) agg.push_back(mon.end_interval(current++));
+    mon.feed(p);
+  }
+  agg.push_back(mon.end_interval(current));
+
+  std::size_t ref_alerts = 0, agg_alerts = 0, identical = 0;
+  for (std::size_t i = 0; i < ref.size() && i < agg.size(); ++i) {
+    ref_alerts += ref[i].final.size();
+    agg_alerts += agg[i].final.size();
+    bool same = ref[i].final.size() == agg[i].final.size();
+    for (std::size_t j = 0; same && j < ref[i].final.size(); ++j) {
+      same = ref[i].final[j].key == agg[i].final[j].key &&
+             ref[i].final[j].type == agg[i].final[j].type;
+    }
+    identical += same ? 1 : 0;
+  }
+
+  // TRW: whole-traffic vs per-router + summed.
+  const Trw whole = run_trw(scenario.trace);
+  std::vector<Trw> split;
+  for (int i = 0; i < 3; ++i) split.emplace_back(TrwConfig{});
+  PacketSplitter splitter(3, 17);
+  for (const auto& p : scenario.trace.packets()) {
+    split[splitter.route(p)].observe(p);
+  }
+  const Timestamp end = scenario.trace.stats().last_ts + 61 * kMicrosPerSecond;
+  std::set<std::uint32_t> whole_sips, split_sips;
+  for (const auto& a : whole.alerts()) whole_sips.insert(a.sip.addr);
+  for (auto& t : split) {
+    t.flush(end);
+    for (const auto& a : t.alerts()) split_sips.insert(a.sip.addr);
+  }
+  std::set<std::uint32_t> real_scanners;
+  for (const auto& e : scenario.truth.events()) {
+    if (is_attack(e.kind) && e.sip) real_scanners.insert(e.sip->addr);
+  }
+  auto fp_count = [&](const std::set<std::uint32_t>& sips) {
+    std::size_t fp = 0;
+    for (const auto s : sips) fp += real_scanners.contains(s) ? 0 : 1;
+    return fp;
+  };
+
+  TablePrinter table("Sec 5.3.2. Aggregated detection over 3 routers "
+                     "(per-packet load balancing)");
+  table.header({"Method", "Alerts (single)", "Alerts (split)",
+                "Identical intervals", "False-positive sources"});
+  table.row({"HiFIND (COMBINE)", std::to_string(ref_alerts),
+             std::to_string(agg_alerts),
+             std::to_string(identical) + "/" + std::to_string(ref.size()),
+             "-"});
+  table.row({"TRW (per-router sum)", std::to_string(whole_sips.size()),
+             std::to_string(split_sips.size()), "-",
+             std::to_string(fp_count(whole_sips)) + " -> " +
+                 std::to_string(fp_count(split_sips))});
+  table.print(std::cout);
+
+  std::cout << "\nPer-interval shipped state: "
+            << mon.bytes_shipped_per_interval() / 1e6
+            << " MB of sketches, CONSTANT in traffic volume. Shipping "
+               "packets instead scales with the link: one minute of a "
+               "10 Gbps link is 75 GB (paper Sec. 3.1's argument for "
+               "shipping sketches).\n";
+  std::cout << (identical == ref.size()
+                    ? "PASS: aggregated HiFIND detection is exactly the "
+                      "single-router result.\n"
+                    : "FAIL: aggregated HiFIND detection diverged!\n");
+}
+
+}  // namespace
+}  // namespace hifind::bench
+
+int main() {
+  hifind::bench::run();
+  return 0;
+}

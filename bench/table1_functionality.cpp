@@ -1,0 +1,189 @@
+// Table 1 reproduction: functionality comparison.
+//
+// Paper's matrix (Yes/No per detector per attack class):
+//   HiFIND        spoofed DoS: Yes  non-spoofed DoS: Yes  Hscan: Yes  Vscan: Yes
+//   TRW(-AC)      No                No                    Yes         (Yes)
+//   CPM           Yes (high FP w/ port scans)             No          No
+//   Backscatter   Yes               No                    No          No
+//   Superspreader No                No                    Yes         No
+//
+// Method: four micro-scenarios, each one attack class over identical benign
+// background. A detector scores "Yes" if it raises an alert attributable to
+// the attack (for CPM, an interval alarm during the attack; for Backscatter,
+// a spoofed-uniform verdict for the victim's un-responded SYN sources).
+#include <iostream>
+#include <set>
+
+#include "baseline/backscatter.hpp"
+#include "baseline/cpm.hpp"
+#include "baseline/pcf.hpp"
+#include "baseline/superspreader.hpp"
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+
+namespace hifind::bench {
+namespace {
+
+struct MicroScenario {
+  const char* name;
+  EventKind kind;
+  Scenario scenario;
+};
+
+Scenario micro(EventKind kind, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.duration_seconds = 480;
+  cfg.background_cps = 60.0;
+  cfg.num_spoofed_floods = kind == EventKind::kSynFloodSpoofed ? 1 : 0;
+  cfg.num_fixed_floods = kind == EventKind::kSynFloodFixed ? 1 : 0;
+  cfg.num_hscans = kind == EventKind::kHorizontalScan ? 1 : 0;
+  cfg.num_vscans = kind == EventKind::kVerticalScan ? 1 : 0;
+  cfg.num_block_scans = 0;
+  cfg.num_flash_crowds = 0;
+  cfg.num_misconfigs = 0;
+  cfg.num_server_failures = 0;
+  return build_scenario(cfg);
+}
+
+/// The injected attack event of the micro-scenario.
+const GroundTruthEvent& the_attack(const Scenario& s) {
+  static GroundTruthEvent none;
+  for (const auto& e : s.truth.events()) {
+    if (is_attack(e.kind)) return e;
+  }
+  return none;
+}
+
+bool hifind_detects(const Scenario& s, EventKind kind) {
+  Pipeline pipeline(default_pipeline_config());
+  const auto results = pipeline.run(s.trace);
+  const EvaluationSummary sum = evaluate(results, s.truth, IntervalClock(60));
+  (void)kind;
+  return sum.attack_events_detected >= 1;
+}
+
+bool trw_detects(const Scenario& s) {
+  const GroundTruthEvent& atk = the_attack(s);
+  const Trw trw = run_trw(s.trace);
+  for (const auto& a : trw.alerts()) {
+    if (atk.sip && a.sip.addr == atk.sip->addr) return true;
+  }
+  return false;
+}
+
+bool cpm_alarms_during_attack(const Scenario& s) {
+  const GroundTruthEvent& atk = the_attack(s);
+  Cpm cpm{CpmConfig{}};
+  IntervalClock clock(60);
+  std::uint64_t current = 0;
+  bool alarmed_during = false;
+  for (const auto& p : s.trace.packets()) {
+    const std::uint64_t iv = clock.interval_of(p.ts);
+    while (current < iv) {
+      const bool alarm = cpm.end_interval();
+      const Timestamp a = clock.interval_start(current);
+      if (alarm && atk.active_during(a, a + clock.width_us())) {
+        alarmed_during = true;
+      }
+      ++current;
+    }
+    cpm.observe(p);
+  }
+  return alarmed_during;
+}
+
+bool backscatter_validates(const Scenario& s) {
+  const GroundTruthEvent& atk = the_attack(s);
+  if (!atk.dip) return false;
+  BackscatterValidator v;
+  for (const auto& p : s.trace.packets()) {
+    if (p.is_syn() && p.dip.addr == atk.dip->addr &&
+        (!atk.dport || p.dport == *atk.dport) &&
+        p.ts >= atk.start && p.ts < atk.end) {
+      v.add_source(p.sip);
+    }
+  }
+  return v.verdict().spoofed_uniform;
+}
+
+bool pcf_detects(const Scenario& s) {
+  // PCF flags a partial-completion imbalance on the victim host key; it has
+  // no notion of attack type. Reset per interval like the other detectors.
+  const GroundTruthEvent& atk = the_attack(s);
+  if (!atk.dip) return false;  // Hscans have no single victim host
+  Pcf pcf{PcfConfig{}};
+  IntervalClock clock(60);
+  std::uint64_t current = 0;
+  bool detected = false;
+  for (const auto& p : s.trace.packets()) {
+    const std::uint64_t iv = clock.interval_of(p.ts);
+    while (current < iv) {
+      detected |= pcf.suspicious(atk.dip->addr);
+      pcf.clear();
+      ++current;
+    }
+    pcf.observe(p);
+  }
+  return detected || pcf.suspicious(atk.dip->addr);
+}
+
+bool superspreader_detects(const Scenario& s) {
+  const GroundTruthEvent& atk = the_attack(s);
+  SuperspreaderDetector d{SuperspreaderConfig{.k = 100, .sample_rate = 0.5}};
+  for (const auto& p : s.trace.packets()) d.observe(p);
+  for (const auto& a : d.alerts()) {
+    if (atk.sip && a.sip.addr == atk.sip->addr) return true;
+  }
+  return false;
+}
+
+void run() {
+  std::vector<MicroScenario> scenarios;
+  scenarios.push_back({"Spoofed DoS", EventKind::kSynFloodSpoofed,
+                       micro(EventKind::kSynFloodSpoofed, 101)});
+  scenarios.push_back({"Non-spoofed DoS", EventKind::kSynFloodFixed,
+                       micro(EventKind::kSynFloodFixed, 102)});
+  scenarios.push_back({"Hscan", EventKind::kHorizontalScan,
+                       micro(EventKind::kHorizontalScan, 103)});
+  scenarios.push_back({"Vscan", EventKind::kVerticalScan,
+                       micro(EventKind::kVerticalScan, 104)});
+
+  TablePrinter table(
+      "Table 1. Functionality comparison (measured on single-attack "
+      "micro-scenarios)");
+  table.header({"Approaches", "Spoofed DoS", "Non-spoofed DoS", "Hscan",
+                "Vscan"});
+
+  std::vector<std::string> hifind_row{"HiFIND"}, trw_row{"TRW"},
+      cpm_row{"CPM"}, bs_row{"Backscatter"}, ss_row{"Superspreader"},
+      pcf_row{"PCF (extension)"};
+  for (auto& ms : scenarios) {
+    hifind_row.push_back(yes_no(hifind_detects(ms.scenario, ms.kind)));
+    trw_row.push_back(yes_no(trw_detects(ms.scenario)));
+    cpm_row.push_back(yes_no(cpm_alarms_during_attack(ms.scenario)));
+    bs_row.push_back(yes_no(backscatter_validates(ms.scenario)));
+    ss_row.push_back(yes_no(superspreader_detects(ms.scenario)));
+    pcf_row.push_back(yes_no(pcf_detects(ms.scenario)));
+  }
+  table.row(hifind_row);
+  table.row(trw_row);
+  table.row(cpm_row);
+  table.row(bs_row);
+  table.row(ss_row);
+  table.row(pcf_row);
+  table.print(std::cout);
+  std::cout << "\nPaper expects: HiFIND all Yes; TRW scans only; CPM floods"
+               " (and scan FPs); Backscatter spoofed floods only;"
+               " Superspreader Hscan only. PCF (paper Sec. 2 related work)"
+               " sees host-level imbalances — floods and vscans — but cannot"
+               " name keys or types.\n";
+}
+
+}  // namespace
+}  // namespace hifind::bench
+
+int main() {
+  hifind::bench::run();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Table 4 reproduction: detection results under three phases, plus the
+// Sec. 5.4 backscatter validation of the final SYN-flooding detections.
+//
+// Paper (alert counts over the trace):
+//            Phase1(raw)  Phase2(2D)  Phase3(flood heuristics)
+//   NU   flood   157          157         32
+//        Hscan   988          936         936
+//        Vscan    73           19         19
+//   LBL  flood    35           35          0
+//        Hscan   736          699        699
+//        Vscan    40            1          1
+//
+// The shape to reproduce: Phase 2 cuts scan FPs (especially Vscan), Phase 3
+// cuts flood FPs (to zero on the flood-free LBL-like trace).
+#include <iostream>
+#include <unordered_map>
+
+#include "baseline/backscatter.hpp"
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+
+namespace hifind::bench {
+namespace {
+
+struct DataSetResult {
+  std::string name;
+  std::vector<IntervalResult> results;
+  const Scenario* scenario;
+};
+
+void add_rows(TablePrinter& table, const DataSetResult& d) {
+  const struct {
+    const char* label;
+    AttackType type;
+  } kRows[] = {{"SYN flooding", AttackType::kSynFlooding},
+               {"Hscan", AttackType::kHorizontalScan},
+               {"Vscan", AttackType::kVerticalScan}};
+  for (const auto& row : kRows) {
+    const PhaseCounts c = count_phases(d.results, row.type);
+    table.row({d.name, row.label, std::to_string(c.raw),
+               std::to_string(c.after_2d), std::to_string(c.final)});
+  }
+}
+
+/// Sec. 5.4 validation: for each distinct final flood victim, test the
+/// un-responded SYN sources with the backscatter uniformity validator.
+void validate_floods(const DataSetResult& d) {
+  std::unordered_map<std::uint64_t, bool> victims;  // key -> validated
+  for (const auto& r : d.results) {
+    for (const auto& a : r.final) {
+      if (a.type == AttackType::kSynFlooding) victims[a.key] = false;
+    }
+  }
+  std::size_t validated = 0;
+  for (auto& [key, ok] : victims) {
+    BackscatterValidator v;
+    const IPv4 dip = unpack_key_ip(key);
+    const std::uint16_t dport = unpack_key_port(key);
+    for (const auto& p : d.scenario->trace.packets()) {
+      if (p.is_syn() && p.dip == dip && p.dport == dport) {
+        v.add_source(p.sip);
+      }
+    }
+    ok = v.verdict().spoofed_uniform;
+    validated += ok ? 1 : 0;
+  }
+  std::cout << d.name << ": " << victims.size()
+            << " distinct flood victims detected; " << validated
+            << " validated as spoofed-uniform by backscatter "
+            << "(non-spoofed floods legitimately fail the uniformity "
+               "test).\n";
+}
+
+void run() {
+  const Scenario nu = build_scenario(nu_like_config(11, 1800));
+  const Scenario lbl = build_scenario(lbl_like_config(12, 1800));
+
+  Pipeline nu_pipe(default_pipeline_config());
+  Pipeline lbl_pipe(default_pipeline_config());
+  DataSetResult nu_res{"NU-like", nu_pipe.run(nu.trace), &nu};
+  DataSetResult lbl_res{"LBL-like", lbl_pipe.run(lbl.trace), &lbl};
+
+  TablePrinter table("Table 4. Detection results under three phases");
+  table.header({"Traces", "Attack type", "Phase1: Raw", "Phase2: Port scan",
+                "Phase3: Flooding"});
+  add_rows(table, nu_res);
+  add_rows(table, lbl_res);
+  table.print(std::cout);
+
+  std::cout << "\nGround-truth accuracy (final phase):\n";
+  for (const auto* d : {&nu_res, &lbl_res}) {
+    const Scenario& s = d->name == "NU-like" ? nu : lbl;
+    const EvaluationSummary sum =
+        evaluate(d->results, s.truth, IntervalClock(60));
+    std::cout << "  " << d->name << ": " << sum.alerts_matched << "/"
+              << sum.alerts_total << " alerts explained by injected attacks, "
+              << sum.alerts_benign_cause << " by benign anomalies, "
+              << sum.alerts_unexplained << " unexplained; event recall "
+              << sum.attack_events_detected << "/" << sum.attack_events
+              << ".\n";
+  }
+
+  std::cout << "\nSec 5.4 backscatter validation of detected floods:\n";
+  validate_floods(nu_res);
+  validate_floods(lbl_res);
+}
+
+}  // namespace
+}  // namespace hifind::bench
+
+int main() {
+  hifind::bench::run();
+  return 0;
+}

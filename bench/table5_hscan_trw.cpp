@@ -1,0 +1,78 @@
+// Table 5 reproduction: horizontal-scan detection, HiFIND vs TRW,
+// aggregated by source IP.
+//
+// Paper: NU 497 (TRW) / 512 (HiFIND) / 488 overlap; LBL 695/699/692 — i.e.
+// near-total overlap with small one-sided residues: HiFIND additionally
+// catches scanners mixing successes with failures (TRW's walk absorbs the
+// successes), TRW additionally catches slow multi-interval scans below
+// HiFIND's per-interval threshold.
+#include <iostream>
+#include <set>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+
+namespace hifind::bench {
+namespace {
+
+void run_dataset(TablePrinter& table, const char* name,
+                 const ScenarioConfig& cfg) {
+  const Scenario scenario = build_scenario(cfg);
+
+  Pipeline pipeline(default_pipeline_config());
+  const auto results = pipeline.run(scenario.trace);
+  const std::set<std::uint32_t> hifind_sips =
+      distinct_scan_sources(results, AttackType::kHorizontalScan);
+
+  const Trw trw = run_trw(scenario.trace);
+  std::set<std::uint32_t> trw_sips;
+  for (const auto& a : trw.alerts()) trw_sips.insert(a.sip.addr);
+
+  std::size_t overlap = 0;
+  for (const auto s : hifind_sips) overlap += trw_sips.contains(s) ? 1 : 0;
+
+  table.row({name, std::to_string(trw_sips.size()),
+             std::to_string(hifind_sips.size()), std::to_string(overlap)});
+
+  // Ground truth: how many flagged sources are real scanners?
+  std::set<std::uint32_t> real_scanners;
+  for (const auto& e : scenario.truth.events()) {
+    if ((e.kind == EventKind::kHorizontalScan ||
+         e.kind == EventKind::kBlockScan) &&
+        e.sip) {
+      real_scanners.insert(e.sip->addr);
+    }
+  }
+  std::size_t hifind_true = 0, trw_true = 0;
+  for (const auto s : hifind_sips) {
+    hifind_true += real_scanners.contains(s) ? 1 : 0;
+  }
+  for (const auto s : trw_sips) trw_true += real_scanners.contains(s) ? 1 : 0;
+  std::cout << "  " << name << ": injected scanners = "
+            << real_scanners.size() << "; HiFIND true positives = "
+            << hifind_true << "/" << hifind_sips.size()
+            << "; TRW true positives = " << trw_true << "/"
+            << trw_sips.size() << " (TRW extras are mostly failing P2P "
+            << "peers it cannot distinguish from scanners)\n";
+}
+
+void run() {
+  TablePrinter table(
+      "Table 5. Horizontal scan detection comparison, aggregated by SIP");
+  table.header({"Data", "TRW", "HiFIND", "Overlap number"});
+  std::cout << "Per-dataset notes:\n";
+  run_dataset(table, "NU-like", nu_like_config(51, 1800));
+  run_dataset(table, "LBL-like", lbl_like_config(52, 1800));
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nPaper shape: counts within a few percent of each other "
+               "with near-total overlap.\n";
+}
+
+}  // namespace
+}  // namespace hifind::bench
+
+int main() {
+  hifind::bench::run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Table 6 reproduction: TCP SYN-flooding detection, HiFIND vs CPM, counted
+// in alarmed intervals.
+//
+// Paper: NU 1422 (CPM) / 1427 (HiFIND) / 1422 overlap — agreement when
+// floods really dominate the intervals. LBL 1426 / 0 / 0 — CPM alarms on
+// almost every interval of a scan-heavy, flood-free trace because it cannot
+// tell orphan SYNs of scans from orphan SYNs of floods; HiFIND, detecting at
+// the flow level, stays silent.
+#include <iostream>
+
+#include "baseline/cpm.hpp"
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+
+namespace hifind::bench {
+namespace {
+
+void run_dataset(TablePrinter& table, const char* name,
+                 const ScenarioConfig& cfg) {
+  const Scenario scenario = build_scenario(cfg);
+
+  // HiFIND: intervals with at least one FINAL flood alert.
+  Pipeline pipeline(default_pipeline_config());
+  const auto results = pipeline.run(scenario.trace);
+  std::vector<bool> hifind_flood(results.size(), false);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    hifind_flood[i] =
+        IntervalResult::count(results[i].final, AttackType::kSynFlooding) > 0;
+  }
+
+  // CPM over the same interval grid.
+  Cpm cpm{CpmConfig{}};
+  IntervalClock clock(60);
+  std::vector<bool> cpm_alarm;
+  std::uint64_t current = 0;
+  bool any = false;
+  for (const auto& p : scenario.trace.packets()) {
+    const std::uint64_t iv = clock.interval_of(p.ts);
+    if (!any) {
+      current = iv;
+      any = true;
+    }
+    while (current < iv) {
+      cpm_alarm.push_back(cpm.end_interval());
+      ++current;
+    }
+    cpm.observe(p);
+  }
+  cpm_alarm.push_back(cpm.end_interval());
+
+  std::size_t cpm_count = 0, hifind_count = 0, overlap = 0;
+  const std::size_t n = std::min(cpm_alarm.size(), hifind_flood.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    cpm_count += cpm_alarm[i] ? 1 : 0;
+    hifind_count += hifind_flood[i] ? 1 : 0;
+    overlap += (cpm_alarm[i] && hifind_flood[i]) ? 1 : 0;
+  }
+  table.row({name, std::to_string(cpm_count), std::to_string(hifind_count),
+             std::to_string(overlap)});
+}
+
+void run() {
+  TablePrinter table(
+      "Table 6. TCP SYN flooding detection comparison (alarmed intervals)");
+  table.header({"Data", "CPM", "HiFIND", "Overlap number"});
+  run_dataset(table, "NU-like", nu_like_config(61, 1800));
+  run_dataset(table, "LBL-like", lbl_like_config(62, 1800));
+  table.print(std::cout);
+  std::cout << "\nPaper shape: agreement on the flood-rich trace; on the "
+               "scan-only LBL-like trace CPM keeps alarming while HiFIND "
+               "reports zero floods.\n";
+}
+
+}  // namespace
+}  // namespace hifind::bench
+
+int main() {
+  hifind::bench::run();
+  return 0;
+}

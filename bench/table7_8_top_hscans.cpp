@@ -1,0 +1,111 @@
+// Tables 7 & 8 reproduction: the top-5 and bottom-5 horizontal scans (by
+// change magnitude) with destination port, breadth (#DIP) and cause.
+//
+// The paper lists e.g. SQLSnake on 1433 sweeping 56275 targets at the top
+// and Nachi/MSBlast/Sasser sweeps of ~62-64 targets at the bottom. Our
+// generator injects scans with the same cause labels and a log-uniform
+// breadth distribution, and the ground-truth ledger supplies the "Cause"
+// column the paper's authors assigned manually.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+
+namespace hifind::bench {
+namespace {
+
+struct ScanRecord {
+  std::uint64_t key{0};  // {SIP,Dport}
+  double magnitude{0};   // peak per-interval change
+  std::set<std::uint32_t> dips;
+  std::string cause{"(unexplained)"};
+};
+
+void run() {
+  ScenarioConfig cfg = nu_like_config(71, 1800);
+  cfg.num_hscans = 30;
+  const Scenario scenario = build_scenario(cfg);
+
+  Pipeline pipeline(default_pipeline_config());
+  const auto results = pipeline.run(scenario.trace);
+  IntervalClock clock(60);
+
+  // Aggregate final hscan alerts by {SIP,Dport}; magnitude = peak change.
+  std::map<std::uint64_t, ScanRecord> scans;
+  for (const auto& r : results) {
+    for (const auto& a : r.final) {
+      if (a.type != AttackType::kHorizontalScan) continue;
+      ScanRecord& rec = scans[a.key];
+      rec.key = a.key;
+      rec.magnitude = std::max(rec.magnitude, a.magnitude);
+      if (rec.cause == "(unexplained)") {
+        if (const auto ev = match_alert(a, scenario.truth, clock)) {
+          rec.cause = ev->label;
+        }
+      }
+    }
+  }
+  // Breadth: count the distinct destinations each flagged source probed.
+  for (const auto& p : scenario.trace.packets()) {
+    if (!p.is_syn()) continue;
+    const auto it = scans.find(pack_ip_port(p.sip, p.dport));
+    if (it != scans.end()) it->second.dips.insert(p.dip.addr);
+  }
+
+  std::vector<ScanRecord> ordered;
+  ordered.reserve(scans.size());
+  for (auto& [key, rec] : scans) ordered.push_back(rec);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ScanRecord& a, const ScanRecord& b) {
+              return a.magnitude > b.magnitude;
+            });
+
+  // One row per scanner: a block scan raises dozens of per-port {SIP,Dport}
+  // alerts; the paper's tables list distinct attack sources.
+  std::vector<ScanRecord> by_source;
+  {
+    std::set<std::uint32_t> seen;
+    for (const ScanRecord& r : ordered) {
+      if (seen.insert(unpack_key_ip(r.key).addr).second) {
+        by_source.push_back(r);
+      }
+    }
+  }
+
+  auto emit = [&](const char* title, std::size_t from, std::size_t to) {
+    TablePrinter table(title);
+    table.header({"Anonymized SIP", "Dport", "#DIP", "peak change", "Cause"});
+    for (std::size_t i = from; i < to && i < by_source.size(); ++i) {
+      const ScanRecord& r = by_source[i];
+      table.row({to_string(unpack_key_ip(r.key)),
+                 std::to_string(unpack_key_port(r.key)),
+                 std::to_string(r.dips.size()),
+                 std::to_string(static_cast<long long>(r.magnitude)),
+                 r.cause});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  };
+
+  std::cout << "Detected horizontal scans: " << ordered.size()
+            << " {SIP,Dport} keys from " << by_source.size()
+            << " distinct sources\n\n";
+  emit("Table 7. Top 5 Hscans by change magnitude", 0, 5);
+  emit("Table 8. Bottom 5 Hscans by change magnitude",
+       by_source.size() > 5 ? by_source.size() - 5 : 0, by_source.size());
+  std::cout << "Paper shape: top scans sweep tens of thousands of targets "
+               "(SQLSnake/SSH/MySQL-bot class), bottom scans sweep a few "
+               "dozen (Nachi/Sasser/NetBIOS class); every row carries an "
+               "attributable cause.\n";
+}
+
+}  // namespace
+}  // namespace hifind::bench
+
+int main() {
+  hifind::bench::run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// live_monitor: a simulated online deployment.
+//
+// Emulates the paper's Figure 1(a) setup: a monitor attached to an edge
+// router, recording continuously and detecting once per interval. Traffic is
+// generated minute-by-minute with a drifting benign load plus attacks that
+// switch on and off, and the monitor prints a terse ops-style status line
+// per interval — what a NOC operator of the appliance would watch.
+//
+// Build & run:  ./build/examples/live_monitor [minutes]
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "gen/attacks.hpp"
+#include "gen/background.hpp"
+#include "gen/network_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hifind;
+  const int minutes = argc > 1 ? std::max(3, std::atoi(argv[1])) : 15;
+
+  const NetworkModel net{NetworkModelConfig{.seed = 7}};
+  Pcg32 rng(2027);
+  PipelineConfig config;
+  Pipeline pipeline(config);
+
+  pipeline.on_interval([](const IntervalResult& r) {
+    std::printf("t=%02llum  raw=%-3zu 2d=%-3zu final=%-3zu",
+                static_cast<unsigned long long>(r.interval), r.raw.size(),
+                r.after_2d.size(), r.final.size());
+    if (r.final.empty()) {
+      std::printf("  ok\n");
+      return;
+    }
+    std::printf("  ALERTS:\n");
+    for (const Alert& a : r.final) {
+      std::printf("        %s\n", a.describe().c_str());
+    }
+  });
+
+  for (int m = 0; m < minutes; ++m) {
+    const Timestamp t0 = static_cast<Timestamp>(m) * 60 * kMicrosPerSecond;
+    Trace minute_trace;
+    GroundTruthLedger scratch;
+
+    // Benign load drifts sinusoidally around 60 connections/s.
+    BackgroundConfig bg;
+    bg.connections_per_second = 60.0 + 20.0 * ((m % 10) / 10.0);
+    bg.seed = 1000 + static_cast<std::uint64_t>(m);
+    Trace chunk;
+    generate_background(bg, net, 60 * kMicrosPerSecond, {}, chunk, scratch);
+
+    // Minutes 5-7: a spoofed flood against the most popular service.
+    if (m >= 5 && m < 8) {
+      SynFloodSpec flood;
+      flood.victim_ip = net.services()[0].ip;
+      flood.victim_port = net.services()[0].port;
+      flood.start = 0;
+      flood.duration = 60 * kMicrosPerSecond;
+      flood.rate_pps = 400;
+      inject_syn_flood(flood, net, rng, chunk, scratch);
+    }
+    // Minutes 9-10: an inbound SQLSnake-style horizontal scan.
+    if (m >= 9 && m < 11) {
+      HscanSpec scan;
+      scan.attacker = IPv4(66, 77, 88, 99);
+      scan.dport = 1433;
+      scan.num_targets = 900;
+      scan.start = 0;
+      scan.duration = 60 * kMicrosPerSecond;
+      inject_horizontal_scan(scan, net, rng, chunk, scratch);
+    }
+
+    chunk.sort();
+    for (PacketRecord p : chunk.packets()) {
+      p.ts += t0;  // shift the minute into wall-clock position
+      pipeline.offer(p);
+    }
+  }
+  pipeline.finish();
+
+  std::cout << "\n(Expected: quiet minutes, flood alerts naming the victim "
+               "service in minutes 6-8, scan alerts naming 66.77.88.99:1433 "
+               "in minutes 10-11 — each one interval after onset because "
+               "detection compares against the forecast.)\n";
+  return 0;
+}

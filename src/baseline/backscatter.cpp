@@ -1,0 +1,31 @@
+#include "baseline/backscatter.hpp"
+
+namespace hifind {
+
+BackscatterVerdict BackscatterValidator::verdict() const {
+  BackscatterVerdict v;
+  v.samples = samples_;
+  if (samples_ == 0) return v;
+
+  std::uint64_t top = 0;
+  for (const auto count : histogram_) {
+    if (count > 0) ++v.distinct_octets;
+    if (count > top) top = count;
+  }
+  v.top_octet_share = static_cast<double>(top) / static_cast<double>(samples_);
+
+  const double expected = static_cast<double>(samples_) / 256.0;
+  double chi = 0.0;
+  for (const auto count : histogram_) {
+    const double d = static_cast<double>(count) - expected;
+    chi += d * d / (expected > 0 ? expected : 1.0);
+  }
+  v.chi_square = chi;
+
+  v.spoofed_uniform = samples_ >= config_.min_samples &&
+                      v.distinct_octets >= config_.min_distinct_octets &&
+                      v.top_octet_share <= config_.max_octet_share;
+  return v;
+}
+
+}  // namespace hifind

@@ -1,0 +1,262 @@
+#include "baseline/flow_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace hifind {
+namespace {
+
+/// Forecast entries below this are dropped to keep the table from
+/// accumulating every key ever seen with a vanishing weight.
+constexpr double kForecastPruneEpsilon = 0.01;
+
+}  // namespace
+
+FlowTableDetector::FlowTableDetector(const HifindDetectorConfig& config)
+    : config_(config),
+      ratio_filter_(config.min_syn_ratio),
+      persistence_filter_(config.min_persist_intervals) {}
+
+void FlowTableDetector::observe(const PacketRecord& p) {
+  const std::int64_t delta_i = syn_delta(p);
+  if (delta_i == 0) return;
+  const double delta = static_cast<double>(delta_i);
+
+  const std::uint64_t k_sip_dport = extract_key(KeyKind::SipDport, p);
+  const std::uint64_t k_dip_dport = extract_key(KeyKind::DipDport, p);
+  const std::uint64_t k_sip_dip = extract_key(KeyKind::SipDip, p);
+
+  cur_sip_dport_[k_sip_dport] += delta;
+  cur_dip_dport_[k_dip_dport] += delta;
+  cur_sip_dip_[k_sip_dip] += delta;
+  if (delta_i > 0) {
+    cur_syn_dip_dport_[k_dip_dport] += 1.0;
+  } else {
+    synack_history_.insert(k_dip_dport);
+  }
+  spread_sipdip_dport_[k_sip_dip][unpack_key_port(k_sip_dport)] += delta;
+  spread_sipdport_dip_[k_sip_dport][unpack_key_ip(k_dip_dport).addr] += delta;
+}
+
+std::vector<HeavyKey> FlowTableDetector::detect_changes(const CountMap& current,
+                                                        CountMap& forecast,
+                                                        bool primed) const {
+  std::vector<HeavyKey> heavy;
+  if (primed) {
+    const double t = config_.interval_threshold();
+    for (const auto& [key, value] : current) {
+      const auto it = forecast.find(key);
+      const double predicted = it == forecast.end() ? 0.0 : it->second;
+      const double error = value - predicted;
+      if (error >= t) heavy.push_back(HeavyKey{key, error});
+    }
+  }
+  // Roll EWMA: f' = alpha*current + (1-alpha)*f, over the union of keys.
+  const double a = config_.ewma_alpha;
+  for (auto it = forecast.begin(); it != forecast.end();) {
+    const auto cur = current.find(it->first);
+    it->second = a * (cur == current.end() ? 0.0 : cur->second) +
+                 (1.0 - a) * it->second;
+    if (std::abs(it->second) < kForecastPruneEpsilon) {
+      it = forecast.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [key, value] : current) {
+    if (!forecast.contains(key) && std::abs(a * value) >= kForecastPruneEpsilon) {
+      forecast.emplace(key, primed ? a * value : value);
+    }
+  }
+  return heavy;
+}
+
+std::vector<Alert> FlowTableDetector::phase1(std::uint64_t interval) {
+  std::vector<Alert> alerts;
+
+  std::unordered_set<std::uint32_t> flooding_dips;
+  for (const HeavyKey& k :
+       detect_changes(cur_dip_dport_, fc_dip_dport_, primed_)) {
+    alerts.push_back(Alert{AttackType::kSynFlooding, interval,
+                           KeyKind::DipDport, k.key, k.estimate});
+    flooding_dips.insert(unpack_key_ip(k.key).addr);
+  }
+
+  flooding_sip_victim_.clear();
+  std::unordered_set<std::uint32_t> flooding_sips;
+  for (const HeavyKey& k : detect_changes(cur_sip_dip_, fc_sip_dip_, primed_)) {
+    if (flooding_dips.contains(unpack_key_dip(k.key).addr)) {
+      flooding_sips.insert(unpack_key_sip(k.key).addr);
+      flooding_sip_victim_.emplace(unpack_key_sip(k.key).addr,
+                                   unpack_key_dip(k.key).addr);
+    } else {
+      alerts.push_back(Alert{AttackType::kVerticalScan, interval,
+                             KeyKind::SipDip, k.key, k.estimate});
+    }
+  }
+
+  for (const HeavyKey& k :
+       detect_changes(cur_sip_dport_, fc_sip_dport_, primed_)) {
+    if (flooding_sips.contains(unpack_key_ip(k.key).addr)) {
+      alerts.push_back(Alert{AttackType::kNonSpoofedSynFlooding, interval,
+                             KeyKind::SipDport, k.key, k.estimate});
+    } else {
+      alerts.push_back(Alert{AttackType::kHorizontalScan, interval,
+                             KeyKind::SipDport, k.key, k.estimate});
+    }
+  }
+  return alerts;
+}
+
+bool FlowTableDetector::concentrated(const SpreadMap& spread,
+                                     std::uint64_t key) const {
+  const auto it = spread.find(key);
+  if (it == spread.end()) return false;
+  std::vector<double> values;
+  values.reserve(it->second.size());
+  double total = 0.0;
+  for (const auto& [secondary, count] : it->second) {
+    const double v = std::max(count, 0.0);
+    values.push_back(v);
+    total += v;
+  }
+  if (total <= 0.0) return false;
+  const std::size_t top_p = std::min(config_.twod_top_p, values.size());
+  std::partial_sort(values.begin(),
+                    values.begin() + static_cast<std::ptrdiff_t>(top_p),
+                    values.end(), std::greater<>());
+  double top_sum = 0.0;
+  for (std::size_t i = 0; i < top_p; ++i) top_sum += values[i];
+  return top_sum > config_.twod_phi * total;
+}
+
+std::vector<Alert> FlowTableDetector::phase2(
+    const std::vector<Alert>& alerts) const {
+  std::vector<Alert> kept;
+  kept.reserve(alerts.size());
+  for (const Alert& a : alerts) {
+    if (a.type == AttackType::kVerticalScan &&
+        concentrated(spread_sipdip_dport_, a.key)) {
+      continue;
+    }
+    if (a.type == AttackType::kHorizontalScan &&
+        concentrated(spread_sipdport_dip_, a.key)) {
+      continue;
+    }
+    kept.push_back(a);
+  }
+  return kept;
+}
+
+std::vector<Alert> FlowTableDetector::phase3(const std::vector<Alert>& alerts) {
+  persistence_filter_.begin_interval();
+  std::vector<Alert> kept;
+  kept.reserve(alerts.size());
+  std::unordered_set<std::uint32_t> surviving_victims;
+  for (const Alert& a : alerts) {
+    if (a.type != AttackType::kSynFlooding) {
+      continue;  // victim-keyed floods first; dependents in a second pass
+    }
+    const auto syn_it = cur_syn_dip_dport_.find(a.key);
+    const double syn_now = syn_it == cur_syn_dip_dport_.end() ? 0.0
+                                                              : syn_it->second;
+    const auto un_it = cur_dip_dport_.find(a.key);
+    const double unresp_now =
+        un_it == cur_dip_dport_.end() ? 0.0 : un_it->second;
+    const bool ratio_ok = ratio_filter_.keep(syn_now, unresp_now);
+    const bool service_ok = synack_history_.contains(a.key);
+    const auto fc_it = fc_syn_dip_dport_.find(a.key);
+    const double syn_forecast =
+        fc_it == fc_syn_dip_dport_.end() ? 0.0 : fc_it->second;
+    const bool surge_ok =
+        (syn_now - syn_forecast) >=
+        config_.min_syn_surge_fraction * a.magnitude;
+    const bool persist_ok = persistence_filter_.observe(a.key);
+    if (ratio_ok && service_ok && surge_ok && persist_ok) {
+      kept.push_back(a);
+      surviving_victims.insert(a.dip().addr);
+    }
+  }
+  persistence_filter_.end_interval();
+
+  // Non-spoofed flooding alerts follow their victim's verdict (see
+  // HifindDetector::phase3); scans pass through.
+  for (const Alert& a : alerts) {
+    if (a.type == AttackType::kSynFlooding) continue;
+    if (a.type == AttackType::kNonSpoofedSynFlooding) {
+      const auto it = flooding_sip_victim_.find(a.sip().addr);
+      if (it == flooding_sip_victim_.end() ||
+          !surviving_victims.contains(it->second)) {
+        continue;
+      }
+    }
+    kept.push_back(a);
+  }
+  return kept;
+}
+
+IntervalResult FlowTableDetector::end_interval(std::uint64_t interval) {
+  IntervalResult result;
+  result.interval = interval;
+  result.raw = phase1(interval);
+  result.after_2d =
+      config_.enable_phase2 ? phase2(result.raw) : result.raw;
+  result.final =
+      config_.enable_phase3 ? phase3(result.after_2d) : result.after_2d;
+  // Roll the #SYN forecast (read pre-roll by phase3's surge heuristic).
+  detect_changes(cur_syn_dip_dport_, fc_syn_dip_dport_, primed_);
+  if (!primed_) {
+    // First interval primes the forecasters only (mirrors the sketch path).
+    result.raw.clear();
+    result.after_2d.clear();
+    result.final.clear();
+    primed_ = true;
+  }
+
+  cur_sip_dport_.clear();
+  cur_dip_dport_.clear();
+  cur_sip_dip_.clear();
+  cur_syn_dip_dport_.clear();
+  spread_sipdip_dport_.clear();
+  spread_sipdport_dip_.clear();
+  return result;
+}
+
+std::size_t FlowTableDetector::memory_bytes() const {
+  const std::size_t node = 2 * sizeof(void*);
+  const std::size_t entry = sizeof(std::uint64_t) + sizeof(double) + node;
+  std::size_t total =
+      (cur_sip_dport_.size() + cur_dip_dport_.size() + cur_sip_dip_.size() +
+       cur_syn_dip_dport_.size() + fc_sip_dport_.size() +
+       fc_dip_dport_.size() + fc_sip_dip_.size()) *
+      entry;
+  for (const auto& [key, inner] : spread_sipdip_dport_) {
+    total += entry + inner.size() * (sizeof(std::uint32_t) + sizeof(double) +
+                                     node);
+  }
+  for (const auto& [key, inner] : spread_sipdport_dip_) {
+    total += entry + inner.size() * (sizeof(std::uint32_t) + sizeof(double) +
+                                     node);
+  }
+  total += synack_history_.size() * (sizeof(std::uint64_t) + node);
+  return total;
+}
+
+void FlowTableDetector::reset() {
+  primed_ = false;
+  cur_sip_dport_.clear();
+  cur_dip_dport_.clear();
+  cur_sip_dip_.clear();
+  cur_syn_dip_dport_.clear();
+  spread_sipdip_dport_.clear();
+  spread_sipdport_dip_.clear();
+  fc_sip_dport_.clear();
+  fc_dip_dport_.clear();
+  fc_sip_dip_.clear();
+  fc_syn_dip_dport_.clear();
+  synack_history_.clear();
+  persistence_filter_ = PersistenceFilter(config_.min_persist_intervals);
+}
+
+}  // namespace hifind

@@ -1,0 +1,50 @@
+#include "baseline/pcf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hifind {
+
+Pcf::Pcf(const PcfConfig& config) : config_(config) {
+  if (config_.num_stages == 0 || config_.num_buckets < 2) {
+    throw std::invalid_argument("PCF needs >=1 stage and >=2 buckets");
+  }
+  hashes_.reserve(config_.num_stages);
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    hashes_.emplace_back(mix64(config_.seed) ^ mix64(h + 0x77));
+  }
+  counters_.assign(config_.num_stages * config_.num_buckets, 0.0);
+}
+
+void Pcf::observe(const PacketRecord& p) {
+  const std::int64_t d = syn_delta(p);
+  if (d == 0) return;
+  // Victim-oriented key: the host being connected to.
+  const std::uint64_t key =
+      p.is_synack() ? p.sip.addr : p.dip.addr;
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    counters_[index(h, key)] += static_cast<double>(d);
+  }
+}
+
+double Pcf::min_estimate(std::uint64_t key) const {
+  double m = counters_[index(0, key)];
+  for (std::size_t h = 1; h < config_.num_stages; ++h) {
+    m = std::min(m, counters_[index(h, key)]);
+  }
+  return m;
+}
+
+std::size_t Pcf::alarmed_buckets() const {
+  std::size_t n = 0;
+  for (std::size_t b = 0; b < config_.num_buckets; ++b) {
+    n += counters_[b] > config_.threshold ? 1 : 0;
+  }
+  return n;
+}
+
+void Pcf::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0.0);
+}
+
+}  // namespace hifind

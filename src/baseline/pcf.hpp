@@ -1,0 +1,66 @@
+// PCF — Partial Completion Filters (Kompella, Singh, Varghese — IMC 2004,
+// "On scalable attack detection in the network").
+//
+// Cited by the HiFIND paper as the other scalable flow-level approach and
+// noted for its limitation: "they do not differentiate among various
+// attacks". A PCF is H parallel hash stages of signed counters; each opening
+// event (SYN) increments and each completion event (FIN, or SYN/ACK in the
+// variant we use to mirror HiFIND's metric) decrements the key's bucket in
+// every stage. A key whose MINIMUM stage value exceeds the threshold shows a
+// partial-completion imbalance. Crucially, PCF is NOT reversible: it can say
+// "some key in these buckets is anomalous" but cannot name it, and it cannot
+// tell a flood from a scan — the two capabilities HiFIND adds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "packet/packet.hpp"
+
+namespace hifind {
+
+struct PcfConfig {
+  std::size_t num_stages{3};
+  std::size_t num_buckets{1u << 12};
+  std::uint64_t seed{19};
+  double threshold{60.0};  ///< per-interval partial-completion imbalance
+};
+
+class Pcf {
+ public:
+  explicit Pcf(const PcfConfig& config);
+
+  /// Feeds one packet: SYN => +1, SYN/ACK => -1, keyed by victim {DIP}.
+  void observe(const PacketRecord& p);
+
+  /// Minimum stage value for a key — the PCF detection statistic.
+  double min_estimate(std::uint64_t key) const;
+
+  /// True if the key's imbalance exceeds the threshold.
+  bool suspicious(std::uint64_t key) const {
+    return min_estimate(key) > config_.threshold;
+  }
+
+  /// Number of buckets over threshold in stage 0 — the detector's aggregate
+  /// alarm signal (PCF's actual output granularity: buckets, not keys).
+  std::size_t alarmed_buckets() const;
+
+  void clear();
+
+  std::size_t memory_bytes() const {
+    return counters_.size() * sizeof(double);
+  }
+
+ private:
+  std::size_t index(std::size_t stage, std::uint64_t key) const {
+    return stage * config_.num_buckets +
+           hashes_[stage].bucket(key, config_.num_buckets);
+  }
+
+  PcfConfig config_;
+  std::vector<TabulationHash> hashes_;
+  std::vector<double> counters_;
+};
+
+}  // namespace hifind

@@ -1,0 +1,53 @@
+#include "baseline/superspreader.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace hifind {
+
+SuperspreaderDetector::SuperspreaderDetector(const SuperspreaderConfig& config)
+    : config_(config) {
+  if (config.sample_rate <= 0.0 || config.sample_rate > 1.0) {
+    throw std::invalid_argument("superspreader sample_rate must be in (0,1]");
+  }
+  if (config.k == 0) {
+    throw std::invalid_argument("superspreader k must be positive");
+  }
+  // rate == 1.0 would overflow the double->uint64 cast; saturate explicitly.
+  sample_cut_ = config.sample_rate >= 1.0
+                    ? std::numeric_limits<std::uint64_t>::max()
+                    : static_cast<std::uint64_t>(
+                          config.sample_rate *
+                          static_cast<double>(
+                              std::numeric_limits<std::uint64_t>::max()));
+  scaled_threshold_ = config.sample_rate * static_cast<double>(config.k);
+}
+
+void SuperspreaderDetector::observe(const PacketRecord& p) {
+  if (!p.is_syn()) return;
+  const std::uint64_t pair = pack_ip_ip(p.sip, p.dip);
+  if (config_.sample_rate < 1.0 &&
+      mix64(pair ^ mix64(config_.seed)) >= sample_cut_) {
+    return;  // pair not in the consistent sample
+  }
+  auto& dsts = sampled_dsts_[p.sip.addr];
+  dsts.insert(p.dip.addr);
+  if (static_cast<double>(dsts.size()) >= scaled_threshold_ &&
+      reported_.insert(p.sip.addr).second) {
+    alerts_.push_back(SuperspreaderAlert{p.sip, p.ts});
+  }
+}
+
+std::size_t SuperspreaderDetector::memory_bytes() const {
+  const std::size_t node = 2 * sizeof(void*);
+  std::size_t total = 0;
+  for (const auto& [sip, dsts] : sampled_dsts_) {
+    total += sizeof(sip) + node + dsts.size() * (sizeof(std::uint32_t) + node);
+  }
+  return total;
+}
+
+}  // namespace hifind

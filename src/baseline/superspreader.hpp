@@ -1,0 +1,57 @@
+// Superspreader detection (Venkataraman, Song, Gibbons, Blum — NDSS 2005,
+// "New streaming algorithms for fast detection of superspreaders").
+//
+// A k-superspreader is a source contacting more than k distinct destinations.
+// We implement the one-level filtering algorithm: each distinct {SIP, DIP}
+// pair is sampled with probability p — *consistently*, by hashing the pair —
+// and a source is reported when its number of distinct sampled destinations
+// reaches the scaled threshold p*k. Consistent hashing means a pair repeated
+// a million times is still sampled at most once, giving distinct-destination
+// semantics in sublinear memory.
+//
+// Table 1's caveat is reproduced by the generator's P2P traffic: a benign
+// peer downloading from many hosts is indistinguishable from a scanner here,
+// because this detector ignores whether connections SUCCEED.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace hifind {
+
+struct SuperspreaderConfig {
+  std::uint32_t k{100};       ///< distinct-destination threshold
+  double sample_rate{0.25};   ///< p: pair-sampling probability
+  std::uint64_t seed{11};
+};
+
+struct SuperspreaderAlert {
+  IPv4 sip{};
+  Timestamp when{0};
+};
+
+class SuperspreaderDetector {
+ public:
+  explicit SuperspreaderDetector(const SuperspreaderConfig& config);
+
+  void observe(const PacketRecord& p);
+
+  const std::vector<SuperspreaderAlert>& alerts() const { return alerts_; }
+
+  std::size_t memory_bytes() const;
+
+ private:
+  SuperspreaderConfig config_;
+  std::uint64_t sample_cut_;  ///< hash < cut <=> sampled
+  double scaled_threshold_;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
+      sampled_dsts_;  // by SIP
+  std::unordered_set<std::uint32_t> reported_;
+  std::vector<SuperspreaderAlert> alerts_;
+};
+
+}  // namespace hifind

@@ -1,0 +1,91 @@
+#include "baseline/trw.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hifind {
+
+Trw::Trw(const TrwConfig& config) : config_(config) {
+  if (config.theta1 >= config.theta0 || config.theta0 >= 1.0 ||
+      config.theta1 <= 0.0) {
+    throw std::invalid_argument("TRW requires 0 < theta1 < theta0 < 1");
+  }
+  step_success_ = std::log(config.theta1 / config.theta0);
+  step_failure_ = std::log((1.0 - config.theta1) / (1.0 - config.theta0));
+  log_eta1_ = std::log(config.detection_prob / config.false_positive_prob);
+  log_eta0_ = std::log((1.0 - config.detection_prob) /
+                       (1.0 - config.false_positive_prob));
+}
+
+void Trw::observe(const PacketRecord& p) {
+  if (p.is_syn()) {
+    // First contact from this source to this destination?
+    Walk& w = walks_[p.sip.addr];
+    if (w.decided_scanner) return;
+    if (w.contacted.insert(p.dip.addr).second) {
+      pending_.emplace(pack_ip_ip(p.sip, p.dip), p.ts);
+    }
+    return;
+  }
+  if (p.is_synack()) {
+    // Response from p.sip back to initiator p.dip: success of {dip -> sip}.
+    const auto it = pending_.find(pack_ip_ip(p.dip, p.sip));
+    if (it != pending_.end()) {
+      pending_.erase(it);
+      score(p.dip, /*success=*/true, p.ts);
+    }
+    return;
+  }
+  if (p.is_rst() && !p.outbound) {
+    // An inbound RST answering an outbound attempt is also a failure signal
+    // in TRW; approximation: treat RST toward a pending initiator as failure.
+    const auto it = pending_.find(pack_ip_ip(p.dip, p.sip));
+    if (it != pending_.end()) {
+      pending_.erase(it);
+      score(p.dip, /*success=*/false, p.ts);
+    }
+  }
+}
+
+void Trw::flush(Timestamp now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now >= it->second + config_.failure_timeout_us) {
+      const IPv4 sip = unpack_key_sip(it->first);
+      it = pending_.erase(it);
+      score(sip, /*success=*/false, now);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Trw::score(IPv4 sip, bool success, Timestamp when) {
+  Walk& w = walks_[sip.addr];
+  if (w.decided_scanner) return;
+  w.llr += success ? step_success_ : step_failure_;
+  if (w.llr >= log_eta1_) {
+    w.decided_scanner = true;
+    alerts_.push_back(TrwAlert{sip, when});
+  } else if (w.llr <= log_eta0_) {
+    // Benign decision: accept H0 for the evidence so far and RESTART the
+    // walk (Jung et al. Sec. 3) — a host that later turns scanner (e.g.
+    // gets infected) must still be detectable.
+    w.llr = 0.0;
+  }
+}
+
+std::size_t Trw::memory_bytes() const {
+  // Per-source walk state plus the per-connection first-contact sets and the
+  // pending table. Node overhead approximated as two pointers per hash entry.
+  const std::size_t node = 2 * sizeof(void*);
+  std::size_t total = 0;
+  for (const auto& [sip, w] : walks_) {
+    total += sizeof(sip) + sizeof(Walk) + node;
+    total += w.contacted.size() * (sizeof(std::uint32_t) + node);
+  }
+  total += pending_.size() *
+           (sizeof(std::uint64_t) + sizeof(Timestamp) + node);
+  return total;
+}
+
+}  // namespace hifind

@@ -1,0 +1,83 @@
+// TRW — Threshold Random Walk port-scan detection (Jung, Paxson, Berger,
+// Balakrishnan — IEEE S&P 2004). Reproduced as the paper's primary scan
+// baseline (Tables 1 and 5) and as the memory baseline of Table 9.
+//
+// Model: for each remote source, first-contact connection attempts to
+// distinct local destinations are Bernoulli trials. A benign host's attempts
+// succeed with probability theta0; a scanner's with theta1 < theta0. The
+// log-likelihood ratio random walk
+//     L(s) += log(theta1/theta0)           on success
+//     L(s) += log((1-theta1)/(1-theta0))   on failure
+// crosses log(eta1) => declare scanner, crosses log(eta0) => declare benign,
+// with eta1 = PD/PF and eta0 = (1-PD)/(1-PF).
+//
+// The implementation keeps TRUE per-source and per-connection state — that is
+// the point: this is the unbounded-memory design whose DoS vulnerability
+// HiFIND fixes, and memory_bytes() feeds the Table 9 comparison.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace hifind {
+
+struct TrwConfig {
+  double theta0{0.8};  ///< benign first-contact success probability
+  double theta1{0.2};  ///< scanner first-contact success probability
+  double detection_prob{0.99};   ///< PD
+  double false_positive_prob{0.01};  ///< PF
+  /// A pending first-contact with no SYN/ACK within this horizon counts as a
+  /// failure (edge-router view of an unanswered connection attempt).
+  std::uint64_t failure_timeout_us{60 * kMicrosPerSecond};
+};
+
+/// One source flagged as a scanner.
+struct TrwAlert {
+  IPv4 sip{};
+  Timestamp when{0};
+};
+
+class Trw {
+ public:
+  explicit Trw(const TrwConfig& config);
+
+  /// Feeds one packet in timestamp order.
+  void observe(const PacketRecord& p);
+
+  /// Times out stale pending attempts; call at interval boundaries (and once
+  /// at end of trace with the final timestamp).
+  void flush(Timestamp now);
+
+  /// Sources declared scanners so far (deduplicated; a source alerts once).
+  const std::vector<TrwAlert>& alerts() const { return alerts_; }
+
+  /// Approximate resident memory of per-source + per-connection state.
+  std::size_t memory_bytes() const;
+
+  std::size_t tracked_sources() const { return walks_.size(); }
+  std::size_t pending_connections() const { return pending_.size(); }
+
+ private:
+  struct Walk {
+    double llr{0.0};
+    bool decided_scanner{false};
+    std::unordered_set<std::uint32_t> contacted;  ///< first-contact dedup
+  };
+
+  void score(IPv4 sip, bool success, Timestamp when);
+
+  TrwConfig config_;
+  double step_success_;
+  double step_failure_;
+  double log_eta0_;
+  double log_eta1_;
+  std::unordered_map<std::uint32_t, Walk> walks_;              // by SIP
+  std::unordered_map<std::uint64_t, Timestamp> pending_;       // by {SIP,DIP}
+  std::vector<TrwAlert> alerts_;
+};
+
+}  // namespace hifind

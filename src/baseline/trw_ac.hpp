@@ -1,0 +1,88 @@
+// TRW-AC — TRW with Approximate Caches (Weaver, Staniford, Paxson —
+// USENIX Security 2004, "Very fast containment of scanning worms").
+//
+// Hardware-oriented variant of TRW: per-connection state lives in a
+// fixed-size, direct-mapped *connection cache* indexed by a hash of
+// {SIP, DIP}; per-source random-walk state lives in a fixed-size *address
+// table* indexed by a hash of SIP. Fixed memory makes the detector crash-
+// proof, but collisions alias: when the connection cache fills with spoofed
+// half-open entries, a fresh scan attempt can hash onto an entry that looks
+// established and is silently not counted — the false-negative mechanism the
+// HiFIND paper's Sec. 3.5 quantifies (1M-entry cache, 20% full => 20% of
+// scan attempts lost; a 533 Kb/s spoofed stream fills it completely).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace hifind {
+
+struct TrwAcConfig {
+  std::size_t connection_cache_entries{1u << 20};  ///< paper/Weaver: 1M
+  std::size_t address_table_entries{1u << 20};
+  double theta0{0.8};
+  double theta1{0.2};
+  double detection_prob{0.99};
+  double false_positive_prob{0.01};
+  /// Idle eviction horizon (Weaver's D_conn; HiFIND cites 10 minutes).
+  std::uint64_t idle_timeout_us{600 * kMicrosPerSecond};
+  std::uint64_t seed{7};
+};
+
+struct TrwAcAlert {
+  IPv4 sip{};
+  Timestamp when{0};
+};
+
+class TrwAc {
+ public:
+  explicit TrwAc(const TrwAcConfig& config);
+
+  void observe(const PacketRecord& p);
+
+  /// Evicts connections idle past the timeout (Weaver's background sweep).
+  void flush(Timestamp now);
+
+  const std::vector<TrwAcAlert>& alerts() const { return alerts_; }
+
+  /// Fixed by construction — the design's selling point and its contrast
+  /// with Trw::memory_bytes() in Table 9.
+  std::size_t memory_bytes() const;
+
+  /// Fraction of connection-cache slots currently occupied.
+  double cache_occupancy() const;
+
+  /// Diagnostic: attempts not recorded because their slot aliased another
+  /// live connection (the false-negative channel).
+  std::uint64_t aliased_attempts() const { return aliased_attempts_; }
+
+ private:
+  struct ConnEntry {
+    std::uint32_t tag{0};    ///< truncated hash of {SIP,DIP}; 0 = empty
+    Timestamp last_seen{0};
+    bool established{false};
+    std::uint32_t sip{0};    ///< initiator, for scoring on timeout
+  };
+  struct AddrEntry {
+    double llr{0.0};
+    bool decided_scanner{false};
+  };
+
+  void score(IPv4 sip, bool success, Timestamp when);
+  std::size_t conn_slot(std::uint64_t key) const;
+  std::uint32_t conn_tag(std::uint64_t key) const;
+
+  TrwAcConfig config_;
+  double step_success_;
+  double step_failure_;
+  double log_eta0_;
+  double log_eta1_;
+  std::vector<ConnEntry> connections_;
+  std::vector<AddrEntry> addresses_;
+  std::vector<TrwAcAlert> alerts_;
+  std::uint64_t aliased_attempts_{0};
+};
+
+}  // namespace hifind

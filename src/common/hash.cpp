@@ -1,0 +1,40 @@
+#include "common/hash.hpp"
+
+#include <stdexcept>
+
+namespace hifind {
+
+TabulationHash::TabulationHash(std::uint64_t seed) {
+  Pcg32 rng(mix64(seed), mix64(seed ^ 0x7462bea6d89c4a1dULL));
+  for (auto& row : table_) {
+    for (auto& cell : row) {
+      cell = rng.next64();
+    }
+  }
+}
+
+WordHash::WordHash(std::uint64_t seed, int out_bits) : out_bits_(out_bits) {
+  if (out_bits < 1 || out_bits > 8) {
+    throw std::invalid_argument("WordHash out_bits must be in [1,8]");
+  }
+  const auto range = static_cast<std::uint32_t>(1u << out_bits);
+  Pcg32 rng(mix64(seed ^ 0x51ab3e0c92dd7f64ULL), mix64(seed));
+  preimages_.resize(range);
+  // Balanced construction: fill with an equal share of each output value and
+  // shuffle. A perfectly balanced word hash keeps bucket loads even when key
+  // words are uniform post-mangling, which tightens inference candidate sets.
+  for (std::size_t w = 0; w < table_.size(); ++w) {
+    table_[w] = static_cast<std::uint8_t>(w % range);
+  }
+  for (std::size_t w = table_.size() - 1; w > 0; --w) {
+    const std::uint32_t j = rng.bounded(static_cast<std::uint32_t>(w + 1));
+    std::swap(table_[w], table_[j]);
+  }
+  preimage_masks_.assign(range, {});
+  for (std::size_t w = 0; w < table_.size(); ++w) {
+    preimages_[table_[w]].push_back(static_cast<std::uint8_t>(w));
+    preimage_masks_[table_[w]][w / 64] |= std::uint64_t{1} << (w % 64);
+  }
+}
+
+}  // namespace hifind

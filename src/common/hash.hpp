@@ -1,0 +1,93 @@
+// Hash families used by the sketch substrates.
+//
+// Two distinct needs:
+//  1. k-ary / verification sketches hash a full 64-bit key to a bucket index.
+//     We use seeded tabulation hashing over the key bytes — 3-independent,
+//     fast (8 table lookups), and implementable in hardware as parallel SRAM
+//     reads, matching the paper's "hardware implementable" requirement.
+//  2. Reversible sketches hash each 8-bit key *word* independently to a small
+//     bucket sub-index ("modular hashing", Schweller et al.). Those per-word
+//     functions are random lookup tables, which makes computing preimage sets
+//     for reverse inference a table scan.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hifind {
+
+/// SplitMix64 finalizer: a fast, well-distributed 64 -> 64 bit mixer.
+/// Used for seeding and for cheap non-reversible key scrambling.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seeded tabulation hash over the 8 bytes of a 64-bit key. The output is
+/// folded to a caller-chosen bucket count with a multiply-shift, so bucket
+/// counts need not be powers of two.
+class TabulationHash {
+ public:
+  /// Builds the 8x256 random table from the seed. Distinct seeds give
+  /// (statistically) independent hash functions.
+  explicit TabulationHash(std::uint64_t seed);
+
+  /// Full 64-bit hash of the key.
+  std::uint64_t hash(std::uint64_t key) const {
+    std::uint64_t h = 0;
+    for (int b = 0; b < 8; ++b) {
+      h ^= table_[b][(key >> (8 * b)) & 0xff];
+    }
+    return h;
+  }
+
+  /// Hash folded to [0, buckets).
+  std::size_t bucket(std::uint64_t key, std::size_t buckets) const {
+    // Multiply-high fold: unbiased for bucket counts << 2^64.
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(hash(key)) * buckets) >> 64);
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> table_;
+};
+
+/// A random function from 8-bit words to [0, 2^out_bits), represented as a
+/// lookup table. Building block of modular hashing in reversible sketches.
+/// Exposes preimage sets for reverse inference.
+class WordHash {
+ public:
+  /// @param out_bits  width of the output sub-index, in [1, 8].
+  WordHash(std::uint64_t seed, int out_bits);
+
+  /// Maps a word to its sub-index.
+  std::uint8_t map(std::uint8_t word) const { return table_[word]; }
+
+  int out_bits() const { return out_bits_; }
+
+  /// All words w with map(w) == value. Precomputed; cheap to call in the
+  /// inference inner loop.
+  const std::vector<std::uint8_t>& preimage(std::uint8_t value) const {
+    return preimages_[value];
+  }
+
+  /// The same preimage set as a 256-bit bitmask (bit w of word w/64 set iff
+  /// map(w) == value). Lets reverse inference combine per-stage byte
+  /// constraints with a handful of bitwise ops instead of per-byte loops.
+  const std::array<std::uint64_t, 4>& preimage_mask(std::uint8_t value) const {
+    return preimage_masks_[value];
+  }
+
+ private:
+  int out_bits_;
+  std::array<std::uint8_t, 256> table_;
+  std::vector<std::vector<std::uint8_t>> preimages_;
+  std::vector<std::array<std::uint64_t, 4>> preimage_masks_;
+};
+
+}  // namespace hifind

@@ -1,0 +1,23 @@
+#include "common/mangler.hpp"
+
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace hifind {
+
+KeyMangler::KeyMangler(std::uint64_t seed, int key_bits)
+    : key_bits_(key_bits) {
+  if (key_bits < 2 || key_bits > 64) {
+    throw std::invalid_argument("KeyMangler key_bits must be in [2,64]");
+  }
+  shift_ = key_bits / 2;
+  mask_ = key_bits == 64 ? ~std::uint64_t{0}
+                         : ((std::uint64_t{1} << key_bits) - 1);
+  a_ = mix64(seed) | 1;  // odd => invertible mod 2^n
+  b_ = mix64(seed ^ 0xa076bc57d1e31f08ULL) | 1;
+  a_inv_ = inverse_odd_u64(a_);
+  b_inv_ = inverse_odd_u64(b_);
+}
+
+}  // namespace hifind

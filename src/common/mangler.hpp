@@ -1,0 +1,79 @@
+// Invertible key mangling for reversible sketches.
+//
+// Real traffic keys are highly non-uniform (shared prefixes, popular ports),
+// which would skew per-word modular hashing. The reversible-sketch papers fix
+// this with an "IP mangling" step: a bijection on the key space applied
+// before word decomposition, inverted after inference.
+//
+// A plain affine map (a*x + b mod 2^n) is NOT enough: multiplication only
+// carries information upward, so keys differing in high bits share all their
+// low words and bucket load collapses onto a slice of the table. We use a
+// splitmix-style finalizer restricted to n bits — alternating right-xorshift
+// (diffuses high -> low) and odd multiplication (low -> high) — every step of
+// which is exactly invertible:
+//     x ^= x >> s;  x *= a (mod 2^n);  x ^= x >> s;  x *= b;  x ^= x >> s
+#pragma once
+
+#include <cstdint>
+
+namespace hifind {
+
+/// Multiplicative inverse of an odd 64-bit integer modulo 2^64
+/// (Newton iteration; exact in 5 steps).
+constexpr std::uint64_t inverse_odd_u64(std::uint64_t a) {
+  std::uint64_t x = a;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) {
+    x *= 2 - a * x;  // doubles the number of correct bits
+  }
+  return x;
+}
+
+/// Bijective mixing transform on n-bit keys, n in [2, 64].
+class KeyMangler {
+ public:
+  /// Derives the two odd multipliers from the seed.
+  KeyMangler(std::uint64_t seed, int key_bits);
+
+  /// Forward mangle: uniformizes the key distribution across all words.
+  std::uint64_t mangle(std::uint64_t key) const {
+    std::uint64_t x = key & mask_;
+    x ^= x >> shift_;
+    x = (x * a_) & mask_;
+    x ^= x >> shift_;
+    x = (x * b_) & mask_;
+    x ^= x >> shift_;
+    return x;
+  }
+
+  /// Exact inverse of mangle().
+  std::uint64_t unmangle(std::uint64_t mangled) const {
+    std::uint64_t x = invert_xorshift(mangled & mask_);
+    x = (x * b_inv_) & mask_;
+    x = invert_xorshift(x);
+    x = (x * a_inv_) & mask_;
+    return invert_xorshift(x);
+  }
+
+  int key_bits() const { return key_bits_; }
+
+ private:
+  /// Inverse of y = x ^ (x >> shift_) on the n-bit domain.
+  std::uint64_t invert_xorshift(std::uint64_t y) const {
+    std::uint64_t x = y;
+    for (int recovered = shift_; recovered < key_bits_;
+         recovered += shift_) {
+      x = y ^ (x >> shift_);
+    }
+    return x & mask_;
+  }
+
+  int key_bits_;
+  int shift_;
+  std::uint64_t mask_;
+  std::uint64_t a_;
+  std::uint64_t a_inv_;
+  std::uint64_t b_;
+  std::uint64_t b_inv_;
+};
+
+}  // namespace hifind

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this repository that involves randomness — hash-function
+// seeding, synthetic trace generation, the multi-router packet splitter —
+// draws from explicitly seeded generators so that every experiment is
+// reproducible bit-for-bit. We use PCG32 (O'Neill, pcg-random.org): small
+// state, excellent statistical quality, and trivially header-only.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hifind {
+
+/// PCG32 generator (XSH-RR variant). Satisfies std::uniform_random_bit_engine
+/// so it can drive <random> distributions.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Seeds with a state/stream pair. Distinct streams yield independent
+  /// sequences even with equal state seeds.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  /// Uniform 32-bit draw.
+  std::uint32_t next() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    const auto rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit draw (two 32-bit draws).
+  std::uint64_t next64() {
+    return (std::uint64_t{next()} << 32) | std::uint64_t{next()};
+  }
+
+  /// Uniform draw in [0, bound) without modulo bias (Lemire's method).
+  std::uint32_t bounded(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    std::uint64_t m = std::uint64_t{next()} * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = std::uint64_t{next()} * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform double in [0, 1): 27 random bits over 2^27.
+  double uniform() { return (next() >> 5) * (1.0 / 134217728.0); }
+
+  /// Bernoulli draw with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_{0};
+  std::uint64_t inc_{1};
+};
+
+}  // namespace hifind

@@ -1,0 +1,47 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace hifind {
+
+void TablePrinter::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TablePrinter::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < r.size() ? r[c] : "";
+      os << cell << std::string(width[c] - cell.size(), ' ');
+      os << (c + 1 < cols ? "  " : "");
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < cols; ++c) total += width[c] + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace hifind

@@ -1,0 +1,35 @@
+// Minimal fixed-width table rendering for bench/example output.
+//
+// The bench harness reproduces the paper's tables; this helper keeps their
+// textual rendering consistent (aligned columns, a rule under the header)
+// without pulling in a formatting dependency.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hifind {
+
+/// Accumulates rows of strings and prints them as an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// @param title  printed above the table, e.g. "Table 4. Detection results".
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row (column names).
+  void header(std::vector<std::string> cells);
+
+  /// Appends one data row. Rows may be ragged; short rows render blank cells.
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hifind

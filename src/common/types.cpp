@@ -1,0 +1,54 @@
+#include "common/types.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hifind {
+
+std::string to_string(IPv4 ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip.addr >> 24) & 0xff,
+                (ip.addr >> 16) & 0xff, (ip.addr >> 8) & 0xff, ip.addr & 0xff);
+  return buf;
+}
+
+IPv4 parse_ipv4(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  const int n =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("malformed IPv4 address: " + text);
+  }
+  return IPv4(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+              static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+const char* key_kind_name(KeyKind kind) {
+  switch (kind) {
+    case KeyKind::SipDport:
+      return "{SIP,Dport}";
+    case KeyKind::DipDport:
+      return "{DIP,Dport}";
+    case KeyKind::SipDip:
+      return "{SIP,DIP}";
+  }
+  return "{?}";
+}
+
+std::string format_key(KeyKind kind, std::uint64_t key) {
+  switch (kind) {
+    case KeyKind::SipDport:
+      return "SIP=" + to_string(unpack_key_ip(key)) +
+             " Dport=" + std::to_string(unpack_key_port(key));
+    case KeyKind::DipDport:
+      return "DIP=" + to_string(unpack_key_ip(key)) +
+             " Dport=" + std::to_string(unpack_key_port(key));
+    case KeyKind::SipDip:
+      return "SIP=" + to_string(unpack_key_sip(key)) +
+             " DIP=" + to_string(unpack_key_dip(key));
+  }
+  return "?";
+}
+
+}  // namespace hifind

@@ -1,0 +1,86 @@
+// Core value types shared across the HiFIND library: IPv4 addresses, flow-key
+// packing, and small utilities for rendering them.
+//
+// HiFIND's detection algorithm (paper Sec. 3.3) operates on three key spaces:
+//   {SIP, Dport}  48-bit   step 3: horizontal scans / non-spoofed flooding
+//   {DIP, Dport}  48-bit   step 1: SYN-flooding victims
+//   {SIP, DIP}    64-bit   step 2: vertical scans / flooder identification
+// Keys are packed big-field-first into a uint64_t so that reversible-sketch
+// word decomposition (8-bit words) aligns with header-field byte boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hifind {
+
+/// An IPv4 address in host byte order. A plain value type: comparisons and
+/// hashing treat it as a 32-bit integer.
+struct IPv4 {
+  std::uint32_t addr{0};
+
+  constexpr IPv4() = default;
+  constexpr explicit IPv4(std::uint32_t a) : addr(a) {}
+  /// Builds an address from dotted-quad components: IPv4(10,1,2,3) == 10.1.2.3.
+  constexpr IPv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : addr((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+             (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr auto operator<=>(const IPv4&) const = default;
+};
+
+/// Renders an address as dotted-quad text ("10.1.2.3").
+std::string to_string(IPv4 ip);
+
+/// Parses dotted-quad text. Throws std::invalid_argument on malformed input.
+IPv4 parse_ipv4(const std::string& text);
+
+/// Key-space identifiers for the three reversible sketches the detector keeps.
+enum class KeyKind : std::uint8_t {
+  SipDport,  ///< {source IP, destination port}, 48 bits
+  DipDport,  ///< {destination IP, destination port}, 48 bits
+  SipDip,    ///< {source IP, destination IP}, 64 bits
+};
+
+/// Human-readable name of a key kind ("{SIP,Dport}" etc.).
+const char* key_kind_name(KeyKind kind);
+
+/// Bit width of the packed key for a key space (48 or 64).
+constexpr int key_kind_bits(KeyKind kind) {
+  return kind == KeyKind::SipDip ? 64 : 48;
+}
+
+/// Packs {IP, port} into the low 48 bits: IP in bits [16,48), port in [0,16).
+constexpr std::uint64_t pack_ip_port(IPv4 ip, std::uint16_t port) {
+  return (std::uint64_t{ip.addr} << 16) | std::uint64_t{port};
+}
+
+/// Packs {srcIP, dstIP} into 64 bits: source in the high half.
+constexpr std::uint64_t pack_ip_ip(IPv4 src, IPv4 dst) {
+  return (std::uint64_t{src.addr} << 32) | std::uint64_t{dst.addr};
+}
+
+/// Extracts the IP half of a 48-bit {IP, port} key.
+constexpr IPv4 unpack_key_ip(std::uint64_t key) {
+  return IPv4{static_cast<std::uint32_t>(key >> 16)};
+}
+
+/// Extracts the port half of a 48-bit {IP, port} key.
+constexpr std::uint16_t unpack_key_port(std::uint64_t key) {
+  return static_cast<std::uint16_t>(key & 0xffff);
+}
+
+/// Extracts the source-IP half of a 64-bit {SIP, DIP} key.
+constexpr IPv4 unpack_key_sip(std::uint64_t key) {
+  return IPv4{static_cast<std::uint32_t>(key >> 32)};
+}
+
+/// Extracts the destination-IP half of a 64-bit {SIP, DIP} key.
+constexpr IPv4 unpack_key_dip(std::uint64_t key) {
+  return IPv4{static_cast<std::uint32_t>(key & 0xffffffffu)};
+}
+
+/// Renders a packed key of the given kind for logs and reports.
+std::string format_key(KeyKind kind, std::uint64_t key);
+
+}  // namespace hifind

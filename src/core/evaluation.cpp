@@ -1,0 +1,148 @@
+#include "core/evaluation.hpp"
+
+namespace hifind {
+namespace {
+
+/// Facet agreement between one alert and one event.
+bool facets_match(const Alert& alert, const GroundTruthEvent& ev) {
+  switch (alert.type) {
+    case AttackType::kSynFlooding:
+      // Victim-keyed: {DIP, Dport}.
+      return ev.dip && ev.dip->addr == alert.dip().addr &&
+             (!ev.dport || *ev.dport == alert.dport());
+    case AttackType::kNonSpoofedSynFlooding:
+      // Attacker-keyed: {SIP, Dport}.
+      return ev.sip && ev.sip->addr == alert.sip().addr &&
+             (!ev.dport || *ev.dport == alert.dport());
+    case AttackType::kHorizontalScan:
+      return ev.sip && ev.sip->addr == alert.sip().addr &&
+             (!ev.dport || *ev.dport == alert.dport());
+    case AttackType::kVerticalScan:
+      return ev.sip && ev.sip->addr == alert.sip().addr &&
+             (!ev.dip || ev.dip->addr == alert.dip().addr);
+  }
+  return false;
+}
+
+/// Event kinds that can legitimately explain an alert of the given type.
+bool kind_explains(AttackType type, EventKind kind) {
+  switch (type) {
+    case AttackType::kSynFlooding:
+      return kind == EventKind::kSynFloodSpoofed ||
+             kind == EventKind::kSynFloodFixed ||
+             kind == EventKind::kFlashCrowd ||
+             kind == EventKind::kMisconfiguration ||
+             kind == EventKind::kServerFailure;
+    case AttackType::kNonSpoofedSynFlooding:
+      return kind == EventKind::kSynFloodFixed;
+    case AttackType::kHorizontalScan:
+      return kind == EventKind::kHorizontalScan ||
+             kind == EventKind::kBlockScan;
+    case AttackType::kVerticalScan:
+      return kind == EventKind::kVerticalScan ||
+             kind == EventKind::kBlockScan ||
+             kind == EventKind::kMisconfiguration;
+  }
+  return false;
+}
+
+/// Flooding alerts explained by flash crowds / misconfig / failure windows
+/// are *benign-cause* FPs; everything else explained is a true detection.
+bool benign_kind(EventKind kind) { return !is_attack(kind); }
+
+}  // namespace
+
+std::optional<std::size_t> match_alert_index(const Alert& alert,
+                                             const GroundTruthLedger& truth,
+                                             const IntervalClock& clock) {
+  const Timestamp a = clock.interval_start(alert.interval);
+  const Timestamp b = a + clock.width_us();
+  std::optional<std::size_t> benign_match;
+  for (std::size_t i = 0; i < truth.events().size(); ++i) {
+    const GroundTruthEvent& ev = truth.events()[i];
+    if (!ev.active_during(a, b)) continue;
+    if (!kind_explains(alert.type, ev.kind)) continue;
+    if (!facets_match(alert, ev)) {
+      // Misconfig-driven vscan FPs have a per-client SIP the ledger doesn't
+      // record; match on the fixed facets the event does carry.
+      if (!(alert.type == AttackType::kVerticalScan &&
+            ev.kind == EventKind::kMisconfiguration && ev.dip &&
+            ev.dip->addr == alert.dip().addr)) {
+        continue;
+      }
+    }
+    if (is_attack(ev.kind)) return i;  // real attack wins over benign cause
+    if (!benign_match) benign_match = i;
+  }
+  return benign_match;
+}
+
+std::optional<GroundTruthEvent> match_alert(const Alert& alert,
+                                            const GroundTruthLedger& truth,
+                                            const IntervalClock& clock) {
+  const auto idx = match_alert_index(alert, truth, clock);
+  if (!idx) return std::nullopt;
+  return truth.events()[*idx];
+}
+
+std::vector<MatchedAlert> match_alerts(
+    const std::vector<IntervalResult>& results,
+    const GroundTruthLedger& truth, const IntervalClock& clock,
+    bool use_final_phase) {
+  std::vector<MatchedAlert> out;
+  for (const IntervalResult& r : results) {
+    const auto& alerts = use_final_phase ? r.final : r.raw;
+    for (const Alert& a : alerts) {
+      out.push_back(MatchedAlert{a, match_alert(a, truth, clock)});
+    }
+  }
+  return out;
+}
+
+EvaluationSummary evaluate(const std::vector<IntervalResult>& results,
+                           const GroundTruthLedger& truth,
+                           const IntervalClock& clock, bool use_final_phase) {
+  EvaluationSummary s;
+  std::vector<bool> event_hit(truth.events().size(), false);
+
+  for (const IntervalResult& r : results) {
+    const auto& alerts = use_final_phase ? r.final : r.raw;
+    for (const Alert& a : alerts) {
+      ++s.alerts_total;
+      const auto cause = match_alert_index(a, truth, clock);
+      if (!cause) {
+        ++s.alerts_unexplained;
+        continue;
+      }
+      if (benign_kind(truth.events()[*cause].kind)) {
+        ++s.alerts_benign_cause;
+      } else {
+        ++s.alerts_matched;
+        event_hit[*cause] = true;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < truth.events().size(); ++i) {
+    if (is_attack(truth.events()[i].kind)) {
+      ++s.attack_events;
+      if (event_hit[i]) ++s.attack_events_detected;
+    }
+  }
+  return s;
+}
+
+std::set<std::uint32_t> distinct_scan_sources(
+    const std::vector<IntervalResult>& results, AttackType type,
+    bool use_final_phase) {
+  std::set<std::uint32_t> sources;
+  for (const IntervalResult& r : results) {
+    const auto& alerts = use_final_phase ? r.final : r.raw;
+    for (const Alert& a : alerts) {
+      if (a.type == type) sources.insert(a.sip().addr);
+    }
+  }
+  return sources;
+}
+
+}  // namespace hifind

@@ -1,0 +1,87 @@
+// Evaluation against ground truth: alert <-> injected-event matching.
+//
+// The paper validated detections manually (Sec. 5.4); with a synthetic trace
+// we match every alert against the ledger and report exact per-class
+// detection and false-positive counts, plus event-level recall (was each
+// injected attack caught in at least one interval of its lifetime?).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "detect/alerts.hpp"
+#include "gen/ground_truth.hpp"
+
+namespace hifind {
+
+/// One alert joined with the event that explains it (if any).
+struct MatchedAlert {
+  Alert alert;
+  std::optional<GroundTruthEvent> cause;  ///< nullopt = unexplained (true FP)
+};
+
+/// Aggregate accuracy over a run.
+struct EvaluationSummary {
+  std::size_t alerts_total{0};
+  std::size_t alerts_matched{0};     ///< explained by an injected attack
+  std::size_t alerts_benign_cause{0};///< explained by a benign anomaly (FP
+                                     ///  with a known source: flash crowd,
+                                     ///  misconfig, server failure)
+  std::size_t alerts_unexplained{0}; ///< matched nothing (background FP)
+  std::size_t attack_events{0};      ///< injected attacks in the window
+  std::size_t attack_events_detected{0};
+
+  double precision() const {
+    return alerts_total == 0
+               ? 1.0
+               : static_cast<double>(alerts_matched) /
+                     static_cast<double>(alerts_total);
+  }
+  double event_recall() const {
+    return attack_events == 0
+               ? 1.0
+               : static_cast<double>(attack_events_detected) /
+                     static_cast<double>(attack_events);
+  }
+};
+
+/// Matches one alert against the ledger. An alert matches an event when the
+/// event is active during the alert's interval and every fixed facet agrees:
+///   flooding alerts   match floods (and, as benign causes, flash crowds /
+///                     misconfigs / server failures) on {DIP, Dport};
+///   hscan alerts      match hscans/block scans on {SIP, Dport};
+///   vscan alerts      match vscans/block scans on {SIP, DIP}.
+std::optional<GroundTruthEvent> match_alert(const Alert& alert,
+                                            const GroundTruthLedger& truth,
+                                            const IntervalClock& clock);
+
+/// As match_alert, but returns the matched event's index into
+/// truth.events() — the unambiguous identity evaluate() needs for per-event
+/// recall when events share labels and time windows.
+std::optional<std::size_t> match_alert_index(const Alert& alert,
+                                             const GroundTruthLedger& truth,
+                                             const IntervalClock& clock);
+
+/// Joins every alert in the per-interval results with its cause.
+std::vector<MatchedAlert> match_alerts(
+    const std::vector<IntervalResult>& results,
+    const GroundTruthLedger& truth, const IntervalClock& clock,
+    bool use_final_phase = true);
+
+/// Full-run scoring (alert precision + event recall).
+EvaluationSummary evaluate(const std::vector<IntervalResult>& results,
+                           const GroundTruthLedger& truth,
+                           const IntervalClock& clock,
+                           bool use_final_phase = true);
+
+/// Distinct attacker SIPs among scan alerts of one type across a run —
+/// the unit of the paper's Table 5 comparison ("aggregated by source IP").
+std::set<std::uint32_t> distinct_scan_sources(
+    const std::vector<IntervalResult>& results, AttackType type,
+    bool use_final_phase = true);
+
+}  // namespace hifind

@@ -1,0 +1,36 @@
+#include "core/memory_model.hpp"
+
+#include <cstdio>
+
+namespace hifind {
+
+std::size_t complete_info_bytes(const WorstCaseTraffic& t,
+                                const FlowTableCosts& costs) {
+  const double flows = t.flows();
+  const double per_flow =
+      static_cast<double>(costs.sip_dport_entry + costs.dip_dport_entry +
+                          costs.sip_dip_entry);
+  return static_cast<std::size_t>(flows * per_flow);
+}
+
+std::size_t trw_bytes(const WorstCaseTraffic& t,
+                      const FlowTableCosts& costs) {
+  return static_cast<std::size_t>(
+      t.flows() * static_cast<double>(costs.trw_source_entry));
+}
+
+std::string format_bytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.4gG", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.4gM", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.4gK", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", bytes);
+  }
+  return buf;
+}
+
+}  // namespace hifind

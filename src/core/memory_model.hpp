@@ -1,0 +1,55 @@
+// Analytic worst-case memory model (paper Table 9).
+//
+// Scenario: a link running at 100% utilization with all-40-byte packets,
+// every packet a distinct flow (a spoofed SYN flood with a fresh source per
+// packet). Under that stream:
+//   - HiFIND's sketches stay at their fixed configured size;
+//   - a "complete information" recorder needs an entry in each of the three
+//     per-key tables for every packet;
+//   - TRW needs per-source walk state plus a pending-connection entry per
+//     packet (every source is new).
+// The model reports bytes for a given link speed and accumulation window, so
+// the Table 9 bench can print the paper's 2.5/10 Gbps x 1/5 min grid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hifind {
+
+struct WorstCaseTraffic {
+  double link_gbps{10.0};
+  double window_minutes{1.0};
+  std::size_t packet_bytes{40};
+
+  /// Packets (= distinct flows) arriving within the window.
+  double flows() const {
+    return link_gbps * 1e9 / 8.0 / static_cast<double>(packet_bytes) *
+           window_minutes * 60.0;
+  }
+};
+
+/// Per-entry costs of the non-sketch alternatives, stated explicitly so the
+/// bench output is auditable. Counts are key + counter, no container
+/// overhead — i.e. a LOWER bound favouring the baselines.
+struct FlowTableCosts {
+  std::size_t sip_dport_entry{6 + 2};   ///< 48-bit key + 16-bit counter
+  std::size_t dip_dport_entry{6 + 2};
+  std::size_t sip_dip_entry{8 + 2};     ///< 64-bit key + 16-bit counter
+  std::size_t trw_source_entry{4 + 8};  ///< SIP + walk state
+};
+
+/// Bytes a complete-information (three exact tables) recorder needs.
+std::size_t complete_info_bytes(const WorstCaseTraffic& t,
+                                const FlowTableCosts& costs = {});
+
+/// Bytes TRW needs (per-source state; every packet a fresh source).
+std::size_t trw_bytes(const WorstCaseTraffic& t,
+                      const FlowTableCosts& costs = {});
+
+/// Human-readable byte size ("13.2M", "41.2G").
+// Defined in memory_model.cpp.
+std::string format_bytes(double bytes);
+
+}  // namespace hifind

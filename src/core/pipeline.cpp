@@ -1,0 +1,45 @@
+#include "core/pipeline.hpp"
+
+namespace hifind {
+
+Pipeline::Pipeline(const PipelineConfig& config)
+    : clock_(config.detector.interval_seconds),
+      bank_(config.bank),
+      detector_(config.detector) {}
+
+void Pipeline::offer(const PacketRecord& p) {
+  const std::uint64_t interval = clock_.interval_of(p.ts);
+  if (!current_interval_) {
+    current_interval_ = interval;
+  }
+  // Close every interval the stream has moved past (quiet intervals still
+  // roll the forecasters — an empty minute is itself a signal).
+  while (*current_interval_ < interval) {
+    close_interval(*current_interval_);
+    ++*current_interval_;
+  }
+  bank_.record(p);
+}
+
+std::optional<IntervalResult> Pipeline::finish() {
+  if (!current_interval_) return std::nullopt;
+  IntervalResult result = close_interval(*current_interval_);
+  current_interval_.reset();
+  return result;
+}
+
+IntervalResult Pipeline::close_interval(std::uint64_t interval) {
+  IntervalResult result = detector_.process(bank_, interval);
+  bank_.clear();
+  results_.push_back(result);
+  if (callback_) callback_(result);
+  return result;
+}
+
+std::vector<IntervalResult> Pipeline::run(const Trace& trace) {
+  for (const auto& p : trace.packets()) offer(p);
+  finish();
+  return results_;
+}
+
+}  // namespace hifind

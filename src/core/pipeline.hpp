@@ -1,0 +1,67 @@
+// End-to-end single-monitor pipeline: stream packets in, alerts out.
+//
+// Wires the pieces together exactly as Figure 2 of the paper: continuous
+// sketch recording, and once per interval the detection pass (forecast ->
+// error -> inference -> classification -> FP filters). Offline traces and
+// live streams use the same object: offer() packets in timestamp order and
+// interval boundaries are handled internally; finish() flushes the tail
+// interval.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "detect/hifind.hpp"
+#include "detect/sketch_bank.hpp"
+#include "packet/trace.hpp"
+
+namespace hifind {
+
+struct PipelineConfig {
+  SketchBankConfig bank{};
+  HifindDetectorConfig detector{};
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(const PipelineConfig& config);
+
+  /// Feeds one packet; packets must be offered in non-decreasing timestamp
+  /// order. Crossing an interval boundary triggers detection for the closed
+  /// interval(s) and invokes the callback (if set) for each result.
+  void offer(const PacketRecord& p);
+
+  /// Closes the interval in progress and returns its result (if any packet
+  /// was seen). Call once at end of stream.
+  std::optional<IntervalResult> finish();
+
+  /// Invoked for each completed interval (alerts may be empty).
+  void on_interval(std::function<void(const IntervalResult&)> callback) {
+    callback_ = std::move(callback);
+  }
+
+  /// Convenience: run a whole trace, returning every interval's result.
+  std::vector<IntervalResult> run(const Trace& trace);
+
+  const SketchBank& bank() const { return bank_; }
+  const HifindDetectorConfig& detector_config() const {
+    return detector_.config();
+  }
+
+  /// Collected results so far (also returned by run()).
+  const std::vector<IntervalResult>& results() const { return results_; }
+
+ private:
+  IntervalResult close_interval(std::uint64_t interval);
+
+  IntervalClock clock_;
+  SketchBank bank_;
+  HifindDetector detector_;
+  std::optional<std::uint64_t> current_interval_;
+  std::vector<IntervalResult> results_;
+  std::function<void(const IntervalResult&)> callback_;
+};
+
+}  // namespace hifind

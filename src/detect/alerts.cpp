@@ -1,0 +1,35 @@
+#include "detect/alerts.hpp"
+
+#include <algorithm>
+
+namespace hifind {
+
+const char* attack_type_name(AttackType type) {
+  switch (type) {
+    case AttackType::kSynFlooding:
+      return "SYN flooding";
+    case AttackType::kNonSpoofedSynFlooding:
+      return "SYN flooding (non-spoofed)";
+    case AttackType::kHorizontalScan:
+      return "horizontal scan";
+    case AttackType::kVerticalScan:
+      return "vertical scan";
+  }
+  return "unknown";
+}
+
+std::string Alert::describe() const {
+  return std::string(attack_type_name(type)) + " " +
+         format_key(key_kind, key) + " magnitude=" +
+         std::to_string(static_cast<long long>(magnitude)) + " interval=" +
+         std::to_string(interval);
+}
+
+std::size_t IntervalResult::count(const std::vector<Alert>& alerts,
+                                  AttackType type) {
+  return static_cast<std::size_t>(
+      std::count_if(alerts.begin(), alerts.end(),
+                    [type](const Alert& a) { return a.type == type; }));
+}
+
+}  // namespace hifind

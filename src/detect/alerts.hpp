@@ -1,0 +1,61 @@
+// Alert model: what HiFIND reports and how phases refine it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hifind {
+
+/// Final attack classification (paper Sec. 3.2/3.3).
+enum class AttackType : std::uint8_t {
+  kSynFlooding,            ///< victim {DIP, Dport}; source possibly spoofed
+  kNonSpoofedSynFlooding,  ///< flooding with identified attacker SIP
+  kHorizontalScan,         ///< one SIP probing one Dport across many DIPs
+  kVerticalScan,           ///< one SIP probing many Dports on one DIP
+};
+
+const char* attack_type_name(AttackType type);
+
+/// One detection: a key in one of the three key spaces whose forecast error
+/// exceeded the threshold, tagged with the attack class the three-step
+/// algorithm assigned.
+struct Alert {
+  AttackType type{AttackType::kSynFlooding};
+  std::uint64_t interval{0};   ///< detection interval index
+  KeyKind key_kind{KeyKind::DipDport};
+  std::uint64_t key{0};        ///< packed key (see common/types.hpp)
+  double magnitude{0.0};       ///< forecast-error estimate (un-responded SYNs)
+
+  /// Attacker source IP, where the key carries one (vscan/hscan/non-spoofed).
+  IPv4 sip() const {
+    return key_kind == KeyKind::SipDip ? unpack_key_sip(key)
+                                       : unpack_key_ip(key);
+  }
+  /// Victim IP, where the key carries one ({DIP,Dport} or {SIP,DIP}).
+  IPv4 dip() const {
+    return key_kind == KeyKind::SipDip ? unpack_key_dip(key)
+                                       : unpack_key_ip(key);
+  }
+  /// Destination port, where the key carries one.
+  std::uint16_t dport() const { return unpack_key_port(key); }
+
+  std::string describe() const;
+};
+
+/// Phase-by-phase outcome of one detection interval (paper Table 4 layout):
+/// raw three-step output, after 2D-sketch scan screening, after the SYN-flood
+/// false-positive heuristics.
+struct IntervalResult {
+  std::uint64_t interval{0};
+  std::vector<Alert> raw;       ///< Phase 1
+  std::vector<Alert> after_2d;  ///< Phase 2
+  std::vector<Alert> final;     ///< Phase 3
+
+  /// Count of alerts of a type within one phase's list.
+  static std::size_t count(const std::vector<Alert>& alerts, AttackType type);
+};
+
+}  // namespace hifind

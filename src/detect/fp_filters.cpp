@@ -1,0 +1,16 @@
+#include "detect/fp_filters.hpp"
+
+namespace hifind {
+
+void PersistenceFilter::begin_interval() { current_.clear(); }
+
+bool PersistenceFilter::observe(std::uint64_t key) {
+  const auto it = runs_.find(key);
+  const std::uint32_t run = (it == runs_.end() ? 0 : it->second) + 1;
+  current_[key] = run;
+  return run >= min_intervals_;
+}
+
+void PersistenceFilter::end_interval() { runs_ = current_; }
+
+}  // namespace hifind

@@ -1,0 +1,207 @@
+#include "detect/hifind.hpp"
+
+#include <unordered_set>
+
+namespace hifind {
+namespace {
+
+/// Inference with the paired verification sketch screening candidates inside
+/// the search (removes near-collision and cross-product artifacts before
+/// they count toward the candidate cap).
+std::vector<HeavyKey> infer_verified(const ReversibleSketch& error,
+                                     const KarySketch& verif_error,
+                                     double threshold,
+                                     InferenceOptions options) {
+  options.verifier = [&verif_error, threshold](std::uint64_t key,
+                                               double /*estimate*/) {
+    return verif_error.estimate(key) >= threshold;
+  };
+  return infer_heavy_keys(error, threshold, options).keys;
+}
+
+template <class SketchT>
+std::unique_ptr<Forecaster<SketchT>> build_forecaster(
+    const HifindDetectorConfig& c) {
+  return make_forecaster<SketchT>(c.forecast_model, c.ewma_alpha, c.holt_beta,
+                                  c.ma_window);
+}
+
+}  // namespace
+
+HifindDetector::HifindDetector(const HifindDetectorConfig& config)
+    : config_(config),
+      f_sip_dport_(build_forecaster<ReversibleSketch>(config)),
+      f_dip_dport_(build_forecaster<ReversibleSketch>(config)),
+      f_sip_dip_(build_forecaster<ReversibleSketch>(config)),
+      fv_sip_dport_(build_forecaster<KarySketch>(config)),
+      fv_dip_dport_(build_forecaster<KarySketch>(config)),
+      fv_sip_dip_(build_forecaster<KarySketch>(config)),
+      f_os_(build_forecaster<KarySketch>(config)),
+      ratio_filter_(config.min_syn_ratio),
+      persistence_filter_(config.min_persist_intervals) {}
+
+IntervalResult HifindDetector::process(const SketchBank& bank,
+                                       std::uint64_t interval) {
+  IntervalResult result;
+  result.interval = interval;
+
+  auto e_sip_dport = f_sip_dport_->step(bank.rs_sip_dport());
+  auto e_dip_dport = f_dip_dport_->step(bank.rs_dip_dport());
+  auto e_sip_dip = f_sip_dip_->step(bank.rs_sip_dip());
+  auto ev_sip_dport = fv_sip_dport_->step(bank.verif_sip_dport());
+  auto ev_dip_dport = fv_dip_dport_->step(bank.verif_dip_dport());
+  auto ev_sip_dip = fv_sip_dip_->step(bank.verif_sip_dip());
+  auto e_os = f_os_->step(bank.os_dip_dport());
+  if (!e_sip_dport || !e_dip_dport || !e_sip_dip) {
+    return result;  // forecaster warm-up interval
+  }
+
+  result.raw = phase1(bank, interval, *e_sip_dport, *e_dip_dport, *e_sip_dip,
+                      *ev_sip_dport, *ev_dip_dport, *ev_sip_dip);
+  result.after_2d =
+      config_.enable_phase2 ? phase2(bank, result.raw) : result.raw;
+  result.final = config_.enable_phase3
+                     ? phase3(bank, e_os ? &*e_os : nullptr, result.after_2d)
+                     : result.after_2d;
+  return result;
+}
+
+std::vector<Alert> HifindDetector::phase1(
+    const SketchBank& bank, std::uint64_t interval,
+    const ReversibleSketch& e_sip_dport, const ReversibleSketch& e_dip_dport,
+    const ReversibleSketch& e_sip_dip, const KarySketch& ev_sip_dport,
+    const KarySketch& ev_dip_dport, const KarySketch& ev_sip_dip) {
+  (void)bank;
+  const double t = config_.interval_threshold();
+  std::vector<Alert> alerts;
+
+  // Step 1 — RS({DIP,Dport}): SYN-flooding victims.
+  std::unordered_set<std::uint32_t> flooding_dips;
+  for (const HeavyKey& k :
+       infer_verified(e_dip_dport, ev_dip_dport, t, config_.inference)) {
+    alerts.push_back(Alert{AttackType::kSynFlooding, interval,
+                           KeyKind::DipDport, k.key, k.estimate});
+    flooding_dips.insert(unpack_key_ip(k.key).addr);
+  }
+
+  // Step 2 — RS({SIP,DIP}): flooder identification or vertical scan.
+  flooding_sip_victim_.clear();
+  std::unordered_set<std::uint32_t> flooding_sips;
+  for (const HeavyKey& k :
+       infer_verified(e_sip_dip, ev_sip_dip, t, config_.inference)) {
+    if (flooding_dips.contains(unpack_key_dip(k.key).addr)) {
+      flooding_sips.insert(unpack_key_sip(k.key).addr);
+      flooding_sip_victim_.emplace(unpack_key_sip(k.key).addr,
+                                   unpack_key_dip(k.key).addr);
+    } else {
+      alerts.push_back(Alert{AttackType::kVerticalScan, interval,
+                             KeyKind::SipDip, k.key, k.estimate});
+    }
+  }
+
+  // Step 3 — RS({SIP,Dport}): non-spoofed flooding or horizontal scan.
+  for (const HeavyKey& k :
+       infer_verified(e_sip_dport, ev_sip_dport, t, config_.inference)) {
+    if (flooding_sips.contains(unpack_key_ip(k.key).addr)) {
+      alerts.push_back(Alert{AttackType::kNonSpoofedSynFlooding, interval,
+                             KeyKind::SipDport, k.key, k.estimate});
+    } else {
+      alerts.push_back(Alert{AttackType::kHorizontalScan, interval,
+                             KeyKind::SipDport, k.key, k.estimate});
+    }
+  }
+  return alerts;
+}
+
+std::vector<Alert> HifindDetector::phase2(
+    const SketchBank& bank, const std::vector<Alert>& alerts) const {
+  // A non-spoofed SYN flood below the step-1 threshold (or with an unstable
+  // victim set) leaks into the scan alerts; the 2D sketches expose its
+  // concentrated secondary dimension and remove it (paper Sec. 4).
+  std::vector<Alert> kept;
+  kept.reserve(alerts.size());
+  for (const Alert& a : alerts) {
+    if (a.type == AttackType::kVerticalScan) {
+      // A true vertical scan spreads over many Dports.
+      if (bank.twod_sipdip_dport().classify(a.key, config_.twod_top_p,
+                                            config_.twod_phi) ==
+          ColumnShape::kConcentrated) {
+        continue;  // flooding-like: drop from the scan list
+      }
+    } else if (a.type == AttackType::kHorizontalScan) {
+      // A true horizontal scan spreads over many DIPs.
+      if (bank.twod_sipdport_dip().classify(a.key, config_.twod_top_p,
+                                            config_.twod_phi) ==
+          ColumnShape::kConcentrated) {
+        continue;
+      }
+    }
+    kept.push_back(a);
+  }
+  return kept;
+}
+
+std::vector<Alert> HifindDetector::phase3(const SketchBank& bank,
+                                          const KarySketch* os_error,
+                                          const std::vector<Alert>& alerts) {
+  persistence_filter_.begin_interval();
+  std::vector<Alert> kept;
+  kept.reserve(alerts.size());
+  std::unordered_set<std::uint32_t> surviving_victims;
+  for (const Alert& a : alerts) {
+    if (a.type != AttackType::kSynFlooding) {
+      continue;  // victim-keyed floods first; dependents in a second pass
+    }
+    // Ratio heuristic: congestion leaves some SYN/ACKs; floods leave none.
+    const double syn_now = bank.os_dip_dport().estimate(a.key);
+    const double unresp_now = bank.verif_dip_dport().estimate(a.key);
+    const bool ratio_ok = ratio_filter_.keep(syn_now, unresp_now);
+    // Misconfiguration heuristic: real DoS targets a live service.
+    const bool service_ok =
+        bank.synack_history().estimate(a.key) >= config_.min_service_history;
+    // SYN-surge heuristic: a flood raises #SYN itself; a failed/congested
+    // server has normal arrivals that merely go unanswered.
+    const bool surge_ok =
+        os_error == nullptr ||
+        os_error->estimate(a.key) >=
+            config_.min_syn_surge_fraction * a.magnitude;
+    // Persistence heuristic: attacks last; track runs for every candidate so
+    // a flood filtered this interval still builds history.
+    const bool persist_ok = persistence_filter_.observe(a.key);
+    if (ratio_ok && service_ok && surge_ok && persist_ok) {
+      kept.push_back(a);
+      surviving_victims.insert(a.dip().addr);
+    }
+  }
+  persistence_filter_.end_interval();
+
+  // Second pass: scan alerts pass through; a non-spoofed flooding alert is
+  // kept only if the victim that linked its source into FLOODING_SIP_SET
+  // itself survived the heuristics — if the "flood" was really a
+  // misconfiguration or congestion event, its per-attacker echoes must go
+  // with it.
+  for (const Alert& a : alerts) {
+    if (a.type == AttackType::kSynFlooding) continue;
+    if (a.type == AttackType::kNonSpoofedSynFlooding) {
+      const auto it = flooding_sip_victim_.find(a.sip().addr);
+      if (it == flooding_sip_victim_.end() ||
+          !surviving_victims.contains(it->second)) {
+        continue;
+      }
+    }
+    kept.push_back(a);
+  }
+  return kept;
+}
+
+void HifindDetector::reset() {
+  f_sip_dport_->reset();
+  f_dip_dport_->reset();
+  f_sip_dip_->reset();
+  fv_sip_dport_->reset();
+  fv_dip_dport_->reset();
+  fv_sip_dip_->reset();
+  persistence_filter_ = PersistenceFilter(config_.min_persist_intervals);
+}
+
+}  // namespace hifind

@@ -1,0 +1,112 @@
+// HifindDetector: the paper's three-step detection algorithm plus the
+// Phase-2 (2D-sketch classification) and Phase-3 (SYN-flood heuristics)
+// false-positive reduction stages.
+//
+// Usage per interval:
+//   SketchBank bank(bank_config);
+//   for (packet : interval) bank.record(packet);
+//   IntervalResult r = detector.process(bank, interval_index);
+//   bank.clear();
+//
+// The detector holds the time-series state (forecasters per sketch, the
+// persistence filter's run lengths); the bank holds the per-interval
+// counters. Splitting the two is what makes aggregated multi-router
+// detection work: the central site combines per-router banks into one and
+// feeds it to a single detector, and — by sketch linearity — obtains exactly
+// the alerts a single monitor seeing all traffic would have produced.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/alerts.hpp"
+#include "detect/fp_filters.hpp"
+#include "detect/sketch_bank.hpp"
+#include "forecast/forecaster.hpp"
+#include "sketch/reverse_inference.hpp"
+
+namespace hifind {
+
+/// Detection-stage tuning. Defaults follow paper Sec. 5.1 where stated.
+struct HifindDetectorConfig {
+  std::uint32_t interval_seconds{60};
+  /// Threshold: un-responded SYNs *per second* of interval (paper: 1/s).
+  double syn_rate_threshold{1.0};
+
+  ForecastModel forecast_model{ForecastModel::kEwma};
+  double ewma_alpha{0.5};
+  double holt_beta{0.2};
+  std::size_t ma_window{5};
+
+  InferenceOptions inference{};
+
+  // Phase 2: 2D-sketch column-concentration parameters (paper: 5/64, 0.8).
+  bool enable_phase2{true};
+  std::size_t twod_top_p{5};
+  double twod_phi{0.8};
+
+  // Phase 3: SYN-flood FP heuristics (paper Sec. 3.4).
+  bool enable_phase3{true};
+  double min_syn_ratio{3.0};
+  std::uint32_t min_persist_intervals{2};
+  double min_service_history{0.5};
+  /// SYN-surge heuristic: a real flood RAISES the victim's #SYN arrival
+  /// rate, while a server failure/congestion leaves arrivals normal and
+  /// merely unanswered. Keep a flood alert only if the OS({DIP,Dport},#SYN)
+  /// forecast error is at least this fraction of the alert magnitude.
+  double min_syn_surge_fraction{0.5};
+
+  /// Alert threshold for one interval, in un-responded SYNs.
+  double interval_threshold() const {
+    return syn_rate_threshold * interval_seconds;
+  }
+};
+
+class HifindDetector {
+ public:
+  /// Forecast state is allocated lazily from the first bank's shape, so the
+  /// detector needs no advance knowledge of the bank configuration.
+  explicit HifindDetector(const HifindDetectorConfig& config);
+
+  /// Runs detection on one interval's (possibly combined) bank.
+  /// The first interval only primes the forecasters and returns no alerts.
+  IntervalResult process(const SketchBank& bank, std::uint64_t interval);
+
+  /// Drops all time-series state (new trace).
+  void reset();
+
+  const HifindDetectorConfig& config() const { return config_; }
+
+ private:
+  std::vector<Alert> phase1(const SketchBank& bank, std::uint64_t interval,
+                            const ReversibleSketch& e_sip_dport,
+                            const ReversibleSketch& e_dip_dport,
+                            const ReversibleSketch& e_sip_dip,
+                            const KarySketch& ev_sip_dport,
+                            const KarySketch& ev_dip_dport,
+                            const KarySketch& ev_sip_dip);
+  std::vector<Alert> phase2(const SketchBank& bank,
+                            const std::vector<Alert>& alerts) const;
+  std::vector<Alert> phase3(const SketchBank& bank,
+                            const KarySketch* os_error,
+                            const std::vector<Alert>& alerts);
+
+  HifindDetectorConfig config_;
+  /// Step-2 provenance for the current interval: the victim DIP that put
+  /// each source into FLOODING_SIP_SET. Phase 3 uses it to drop non-spoofed
+  /// flooding alerts whose victim's own flood alert was filtered out (e.g.
+  /// as a misconfiguration), keeping the two alert families consistent.
+  std::unordered_map<std::uint32_t, std::uint32_t> flooding_sip_victim_;
+  std::unique_ptr<Forecaster<ReversibleSketch>> f_sip_dport_;
+  std::unique_ptr<Forecaster<ReversibleSketch>> f_dip_dport_;
+  std::unique_ptr<Forecaster<ReversibleSketch>> f_sip_dip_;
+  std::unique_ptr<Forecaster<KarySketch>> fv_sip_dport_;
+  std::unique_ptr<Forecaster<KarySketch>> fv_dip_dport_;
+  std::unique_ptr<Forecaster<KarySketch>> fv_sip_dip_;
+  std::unique_ptr<Forecaster<KarySketch>> f_os_;
+  RatioFilter ratio_filter_;
+  PersistenceFilter persistence_filter_;
+};
+
+}  // namespace hifind

@@ -1,0 +1,90 @@
+#include "detect/parallel_recorder.hpp"
+
+#include <algorithm>
+
+namespace hifind {
+
+ParallelRecorder::ParallelRecorder(SketchBank& bank, unsigned num_threads)
+    : bank_(bank) {
+  const unsigned n = std::clamp(num_threads, 1u,
+                                SketchBank::kNumSketchGroups);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Deal the sketch groups round-robin across workers; masks are disjoint,
+  // so concurrent record_masked calls touch disjoint bank state.
+  for (unsigned g = 0; g < SketchBank::kNumSketchGroups; ++g) {
+    workers_[g % n]->mask |= 1u << g;
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { run_worker(*worker); });
+  }
+  batch_.reserve(kBatchSize);
+}
+
+ParallelRecorder::~ParallelRecorder() {
+  drain();
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ParallelRecorder::offer(const PacketRecord& p) {
+  batch_.push_back(p);
+  if (batch_.size() >= kBatchSize) flush_batch();
+}
+
+void ParallelRecorder::flush_batch() {
+  if (batch_.empty()) return;
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->queue.insert(w->queue.end(), batch_.begin(), batch_.end());
+    w->idle = false;
+    w->cv.notify_all();
+  }
+  batch_.clear();
+}
+
+void ParallelRecorder::drain() {
+  flush_batch();
+  for (auto& w : workers_) {
+    std::unique_lock<std::mutex> lock(w->mu);
+    w->cv.wait(lock, [&w] { return w->idle && w->queue.empty(); });
+  }
+}
+
+void ParallelRecorder::run_worker(Worker& w) {
+  std::vector<PacketRecord> local;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&w] { return w.stop || !w.queue.empty(); });
+      if (w.queue.empty()) {
+        if (w.stop) return;
+        continue;
+      }
+      local.swap(w.queue);
+    }
+    for (const PacketRecord& p : local) {
+      bank_.record_masked(p, w.mask);
+    }
+    local.clear();
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      if (w.queue.empty()) {
+        w.idle = true;
+        w.cv.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace hifind

@@ -1,0 +1,71 @@
+// Parallel sketch recording (paper Sec. 5.5.3: "we can also use
+// multi-processors to record multiple sketches simultaneously in software").
+//
+// The bank's sketches partition into SketchBank::SketchGroup groups with
+// disjoint state; each worker thread owns one or more groups and records
+// every packet into only its groups. Packets are distributed in batches
+// through per-worker queues, so the bank's final state is IDENTICAL to a
+// serial record() of the same stream (each sketch sees every packet exactly
+// once, in order).
+//
+// Usage:
+//   ParallelRecorder rec(bank, 4);
+//   for (packet : interval) rec.offer(packet);
+//   rec.drain();                 // barrier: all packets applied
+//   detector.process(bank, i);   // bank is now safe to read
+//   bank.clear();
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "detect/sketch_bank.hpp"
+
+namespace hifind {
+
+class ParallelRecorder {
+ public:
+  /// @param num_threads  worker count, clamped to [1, kNumSketchGroups];
+  ///                     groups are dealt round-robin to workers.
+  ParallelRecorder(SketchBank& bank, unsigned num_threads);
+
+  /// Stops workers (draining first). The bank remains valid.
+  ~ParallelRecorder();
+
+  ParallelRecorder(const ParallelRecorder&) = delete;
+  ParallelRecorder& operator=(const ParallelRecorder&) = delete;
+
+  /// Enqueues one packet for recording by every worker.
+  void offer(const PacketRecord& p);
+
+  /// Blocks until every offered packet has been applied to every group.
+  void drain();
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    unsigned mask{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<PacketRecord> queue;      // producer side
+    bool stop{false};
+    bool idle{true};                      // worker has no pending work
+  };
+
+  void run_worker(Worker& w);
+  void flush_batch();
+
+  SketchBank& bank_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<PacketRecord> batch_;  // producer-side buffer
+  static constexpr std::size_t kBatchSize = 1024;
+};
+
+}  // namespace hifind

@@ -1,0 +1,171 @@
+#include "detect/sketch_bank.hpp"
+
+#include <stdexcept>
+
+namespace hifind {
+namespace {
+
+/// Derives the per-sketch seed from the master seed and a role tag, so that
+/// the nine sketches use independent hash families while two banks built from
+/// the same master seed remain combinable sketch-by-sketch.
+std::uint64_t role_seed(std::uint64_t master, std::uint64_t role) {
+  return mix64(master ^ mix64(role));
+}
+
+/// Copies a sketch shape with a seed derived from the bank's master seed and
+/// a role tag. The nine sketches get independent hash families; two banks
+/// built from equal configs derive identical seeds and stay combinable.
+/// The caller's config is stored untouched, so combine() can reconstruct a
+/// bank from a stored config without double-deriving seeds.
+ReversibleSketchConfig derive(ReversibleSketchConfig c, std::uint64_t master,
+                              std::uint64_t role) {
+  c.seed = role_seed(master, role);
+  return c;
+}
+KarySketchConfig derive(KarySketchConfig c, std::uint64_t master,
+                        std::uint64_t role) {
+  c.seed = role_seed(master, role);
+  return c;
+}
+Sketch2dConfig derive(Sketch2dConfig c, std::uint64_t master,
+                      std::uint64_t role) {
+  c.seed = role_seed(master, role);
+  return c;
+}
+
+}  // namespace
+
+SketchBank::SketchBank(const SketchBankConfig& config)
+    : config_(config),
+      rs_sip_dport_(derive(config.rs48, config.seed, 11)),
+      rs_dip_dport_(derive(config.rs48, config.seed, 12)),
+      rs_sip_dip_(derive(config.rs64, config.seed, 13)),
+      verif_sip_dport_(derive(config.verification, config.seed, 21)),
+      verif_dip_dport_(derive(config.verification, config.seed, 22)),
+      verif_sip_dip_(derive(config.verification, config.seed, 23)),
+      os_dip_dport_(derive(config.original, config.seed, 24)),
+      twod_sipdip_dport_(derive(config.twod, config.seed, 31)),
+      twod_sipdport_dip_(derive(config.twod, config.seed, 32)),
+      synack_history_(derive(config.verification, config.seed, 25)) {}
+
+void SketchBank::record(const PacketRecord& p, double weight) {
+  record_masked(p, kGroupAll, weight);
+}
+
+void SketchBank::record_masked(const PacketRecord& p, unsigned mask,
+                               double weight) {
+  const std::int64_t delta_i = syn_delta(p);
+  if (delta_i == 0) return;  // only SYN / SYN-ACK move the detection metric
+  const double delta = static_cast<double>(delta_i) * weight;
+
+  const std::uint64_t k_sip_dport = extract_key(KeyKind::SipDport, p);
+  const std::uint64_t k_dip_dport = extract_key(KeyKind::DipDport, p);
+  const std::uint64_t k_sip_dip = extract_key(KeyKind::SipDip, p);
+
+  if (mask & kGroupRsSipDport) rs_sip_dport_.update(k_sip_dport, delta);
+  if (mask & kGroupRsDipDport) rs_dip_dport_.update(k_dip_dport, delta);
+  if (mask & kGroupRsSipDip) rs_sip_dip_.update(k_sip_dip, delta);
+  if (mask & kGroupVerification) {
+    verif_sip_dport_.update(k_sip_dport, delta);
+    verif_dip_dport_.update(k_dip_dport, delta);
+    verif_sip_dip_.update(k_sip_dip, delta);
+  }
+  if (mask & kGroupOsAndHistory) {
+    if (delta_i > 0) {
+      os_dip_dport_.update(k_dip_dport, weight);  // OS records #SYN only
+    } else {
+      synack_history_.update(k_dip_dport, weight);  // lifetime activity
+    }
+  }
+  if (mask & kGroupTwoD) {
+    // 2D sketches: secondary dimension is the field the primary aggregates
+    // out.
+    twod_sipdip_dport_.update(k_sip_dip, unpack_key_port(k_sip_dport), delta);
+    twod_sipdport_dip_.update(k_sip_dport,
+                              std::uint64_t{unpack_key_ip(k_dip_dport).addr},
+                              delta);
+  }
+  if (mask & kGroupMeta) ++packets_recorded_;
+}
+
+void SketchBank::clear() {
+  rs_sip_dport_.clear();
+  rs_dip_dport_.clear();
+  rs_sip_dip_.clear();
+  verif_sip_dport_.clear();
+  verif_dip_dport_.clear();
+  verif_sip_dip_.clear();
+  os_dip_dport_.clear();
+  twod_sipdip_dport_.clear();
+  twod_sipdport_dip_.clear();
+  packets_recorded_ = 0;
+}
+
+void SketchBank::reset_all() {
+  clear();
+  synack_history_.clear();
+}
+
+void SketchBank::accumulate(const SketchBank& other, double coeff) {
+  if (!combinable_with(other)) {
+    throw std::invalid_argument(
+        "SketchBank::accumulate: banks have different shape or seed");
+  }
+  rs_sip_dport_.accumulate(other.rs_sip_dport_, coeff);
+  rs_dip_dport_.accumulate(other.rs_dip_dport_, coeff);
+  rs_sip_dip_.accumulate(other.rs_sip_dip_, coeff);
+  verif_sip_dport_.accumulate(other.verif_sip_dport_, coeff);
+  verif_dip_dport_.accumulate(other.verif_dip_dport_, coeff);
+  verif_sip_dip_.accumulate(other.verif_sip_dip_, coeff);
+  os_dip_dport_.accumulate(other.os_dip_dport_, coeff);
+  twod_sipdip_dport_.accumulate(other.twod_sipdip_dport_, coeff);
+  twod_sipdport_dip_.accumulate(other.twod_sipdport_dip_, coeff);
+  synack_history_.accumulate(other.synack_history_, coeff);
+  packets_recorded_ += other.packets_recorded_;
+}
+
+SketchBank SketchBank::combine(
+    std::span<const std::pair<double, const SketchBank*>> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("SketchBank::combine: no terms");
+  }
+  // Rebuild from the ORIGINAL (pre-seeding) master config; the constructor
+  // re-derives identical per-sketch seeds, so shapes match exactly.
+  SketchBank out(terms.front().second->config());
+  for (const auto& [coeff, bank] : terms) {
+    out.accumulate(*bank, coeff);
+  }
+  return out;
+}
+
+std::size_t SketchBank::memory_bytes() const {
+  return rs_sip_dport_.memory_bytes() + rs_dip_dport_.memory_bytes() +
+         rs_sip_dip_.memory_bytes() + verif_sip_dport_.memory_bytes() +
+         verif_dip_dport_.memory_bytes() + verif_sip_dip_.memory_bytes() +
+         os_dip_dport_.memory_bytes() + twod_sipdip_dport_.memory_bytes() +
+         twod_sipdport_dip_.memory_bytes() + synack_history_.memory_bytes();
+}
+
+std::size_t SketchBank::memory_bytes_hw() const {
+  return rs_sip_dport_.memory_bytes_hw() + rs_dip_dport_.memory_bytes_hw() +
+         rs_sip_dip_.memory_bytes_hw() + verif_sip_dport_.memory_bytes_hw() +
+         verif_dip_dport_.memory_bytes_hw() + verif_sip_dip_.memory_bytes_hw() +
+         os_dip_dport_.memory_bytes_hw() +
+         twod_sipdip_dport_.memory_bytes_hw() +
+         twod_sipdport_dip_.memory_bytes_hw() +
+         synack_history_.memory_bytes_hw();
+}
+
+std::size_t SketchBank::accesses_per_packet() const {
+  return rs_sip_dport_.accesses_per_update() +
+         rs_dip_dport_.accesses_per_update() +
+         rs_sip_dip_.accesses_per_update() +
+         verif_sip_dport_.accesses_per_update() +
+         verif_dip_dport_.accesses_per_update() +
+         verif_sip_dip_.accesses_per_update() +
+         os_dip_dport_.accesses_per_update() +
+         twod_sipdip_dport_.accesses_per_update() +
+         twod_sipdport_dip_.accesses_per_update();
+}
+
+}  // namespace hifind

@@ -1,0 +1,147 @@
+// SketchBank: the complete data-recording state of one HiFIND monitor.
+//
+// Exactly the paper's Sec. 5.1 inventory:
+//   - three reversible sketches — RS({SIP,Dport}), RS({DIP,Dport}),
+//     RS({SIP,DIP}) — recording #SYN − #SYN/ACK,
+//   - three paired verification sketches,
+//   - one original (k-ary) sketch OS({DIP,Dport}) recording #SYN,
+//   - two 2D sketches: {SIP,DIP} x {Dport} and {SIP,Dport} x {DIP}.
+//
+// The bank is the unit of distribution: each router records into its own
+// bank, banks are linearly COMBINEd at a central site (router/aggregator),
+// and the detector consumes one (possibly combined) bank per interval.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "packet/packet.hpp"
+#include "sketch/kary_sketch.hpp"
+#include "sketch/reversible_sketch.hpp"
+#include "sketch/sketch2d.hpp"
+
+namespace hifind {
+
+/// Shapes for every sketch in a bank. Defaults are the paper's Sec. 5.1
+/// parameters (H=6 stages RS/OS, H=5 2D, 2^12/2^16/2^14 buckets).
+struct SketchBankConfig {
+  std::uint64_t seed{42};  ///< master seed; per-sketch seeds derive from it
+
+  ReversibleSketchConfig rs48{.key_bits = 48,
+                              .num_stages = 6,
+                              .bucket_bits = 12,
+                              .seed = 0};  // seed filled from master
+  ReversibleSketchConfig rs64{.key_bits = 64,
+                              .num_stages = 6,
+                              .bucket_bits = 16,
+                              .seed = 0};
+  KarySketchConfig verification{.num_stages = 6,
+                                .num_buckets = 1u << 14,
+                                .seed = 0};
+  KarySketchConfig original{.num_stages = 6, .num_buckets = 1u << 14,
+                            .seed = 0};
+  Sketch2dConfig twod{.num_stages = 5,
+                      .x_buckets = 1u << 12,
+                      .y_buckets = 64,
+                      .seed = 0};
+
+  bool operator==(const SketchBankConfig&) const = default;
+};
+
+class SketchBank {
+ public:
+  explicit SketchBank(const SketchBankConfig& config);
+
+  /// Records one packet into every sketch: SYN => +weight, SYN/ACK =>
+  /// -weight at the connection's initiator-oriented keys; other packets are
+  /// ignored (but still cheap to feed — the common case on a real link).
+  /// `weight` supports sampled deployments: recording every admitted packet
+  /// with weight 1/rate keeps the counters unbiased (see
+  /// bench/ablation_sampling for what sampling costs in detection power).
+  void record(const PacketRecord& p, double weight = 1.0);
+
+  /// Sketch-group selectors for record_masked (parallel recording, paper
+  /// Sec. 5.5.3: one thread per sketch group). Groups partition the bank:
+  /// two record_masked calls with DISJOINT masks touch disjoint state and
+  /// are safe to run concurrently. kGroupMeta owns packets_recorded_.
+  enum SketchGroup : unsigned {
+    kGroupRsSipDport = 1u << 0,
+    kGroupRsDipDport = 1u << 1,
+    kGroupRsSipDip = 1u << 2,
+    kGroupVerification = 1u << 3,  ///< all three verification sketches
+    kGroupOsAndHistory = 1u << 4,  ///< OS + lifetime SYN/ACK history
+    kGroupTwoD = 1u << 5,          ///< both 2D sketches
+    kGroupMeta = 1u << 6,          ///< packets_recorded_ counter
+    kGroupAll = (1u << 7) - 1,
+  };
+  static constexpr unsigned kNumSketchGroups = 7;
+
+  /// record(), restricted to the sketch groups in `mask`. record(p, w) is
+  /// exactly record_masked(p, kGroupAll, w).
+  void record_masked(const PacketRecord& p, unsigned mask,
+                     double weight = 1.0);
+
+  /// Resets per-interval counters for the next interval; hash families and
+  /// the cumulative service-activity history persist.
+  void clear();
+
+  /// Resets everything including lifetime history (trace restart).
+  void reset_all();
+
+  bool combinable_with(const SketchBank& other) const {
+    return config_ == other.config_;
+  }
+
+  /// this += coeff * other, across every sketch. Shape-checked.
+  void accumulate(const SketchBank& other, double coeff = 1.0);
+
+  /// COMBINE over banks (aggregated detection, paper Sec. 3.1).
+  static SketchBank combine(
+      std::span<const std::pair<double, const SketchBank*>> terms);
+
+  const SketchBankConfig& config() const { return config_; }
+
+  const ReversibleSketch& rs_sip_dport() const { return rs_sip_dport_; }
+  const ReversibleSketch& rs_dip_dport() const { return rs_dip_dport_; }
+  const ReversibleSketch& rs_sip_dip() const { return rs_sip_dip_; }
+  const KarySketch& verif_sip_dport() const { return verif_sip_dport_; }
+  const KarySketch& verif_dip_dport() const { return verif_dip_dport_; }
+  const KarySketch& verif_sip_dip() const { return verif_sip_dip_; }
+  const KarySketch& os_dip_dport() const { return os_dip_dport_; }
+  const TwoDSketch& twod_sipdip_dport() const { return twod_sipdip_dport_; }
+  const TwoDSketch& twod_sipdport_dip() const { return twod_sipdport_dip_; }
+
+  /// Cumulative lifetime #SYN/ACK per {DIP,Dport} — never cleared by
+  /// clear(); backs the misconfiguration (active-service) filter.
+  const KarySketch& synack_history() const { return synack_history_; }
+
+  /// Total counter memory across all sketches (actual, 8-byte counters).
+  std::size_t memory_bytes() const;
+  /// Counter memory with the paper's 32-bit hardware counters; this is the
+  /// number comparable to the paper's "13.2MB".
+  std::size_t memory_bytes_hw() const;
+
+  /// Counter memory accesses one recorded SYN/SYN-ACK performs across all
+  /// sketches (paper Sec. 5.5.2 accounting).
+  std::size_t accesses_per_packet() const;
+
+  std::uint64_t packets_recorded() const { return packets_recorded_; }
+
+ private:
+  friend class SketchBankWire;  // serialization (detect/sketch_wire.cpp)
+
+  SketchBankConfig config_;
+  ReversibleSketch rs_sip_dport_;
+  ReversibleSketch rs_dip_dport_;
+  ReversibleSketch rs_sip_dip_;
+  KarySketch verif_sip_dport_;
+  KarySketch verif_dip_dport_;
+  KarySketch verif_sip_dip_;
+  KarySketch os_dip_dport_;
+  TwoDSketch twod_sipdip_dport_;
+  TwoDSketch twod_sipdport_dip_;
+  KarySketch synack_history_;
+  std::uint64_t packets_recorded_{0};
+};
+
+}  // namespace hifind

@@ -1,0 +1,106 @@
+#include "detect/sketch_wire.hpp"
+
+#include <stdexcept>
+
+#include "common/byte_io.hpp"
+
+namespace hifind {
+
+/// Friend of SketchBank: packs/unpacks the counter arrays.
+class SketchBankWire {
+ public:
+  static constexpr std::uint32_t kMagic = 0x31424648;  // "HFB1"
+
+  static std::vector<std::uint8_t> serialize(const SketchBank& bank) {
+    ByteWriter w;
+    w.u32(kMagic);
+    write_config(w, bank.config());
+    w.f64_span(bank.rs_sip_dport_.counters());
+    w.f64_span(bank.rs_dip_dport_.counters());
+    w.f64_span(bank.rs_sip_dip_.counters());
+    w.f64_span(bank.verif_sip_dport_.counters());
+    w.f64_span(bank.verif_dip_dport_.counters());
+    w.f64_span(bank.verif_sip_dip_.counters());
+    w.f64_span(bank.os_dip_dport_.counters());
+    w.f64_span(bank.twod_sipdip_dport_.cells());
+    w.f64_span(bank.twod_sipdport_dip_.cells());
+    w.f64_span(bank.synack_history_.counters());
+    w.u64(bank.packets_recorded_);
+    return w.take();
+  }
+
+  static SketchBank deserialize(std::span<const std::uint8_t> bytes) {
+    ByteReader r(bytes);
+    if (r.u32() != kMagic) {
+      throw std::runtime_error("SketchBank wire: bad magic");
+    }
+    SketchBank bank(read_config(r));
+    try {
+      bank.rs_sip_dport_.load_counters(r.f64_vector());
+      bank.rs_dip_dport_.load_counters(r.f64_vector());
+      bank.rs_sip_dip_.load_counters(r.f64_vector());
+      bank.verif_sip_dport_.load_counters(r.f64_vector());
+      bank.verif_dip_dport_.load_counters(r.f64_vector());
+      bank.verif_sip_dip_.load_counters(r.f64_vector());
+      bank.os_dip_dport_.load_counters(r.f64_vector());
+      bank.twod_sipdip_dport_.load_cells(r.f64_vector());
+      bank.twod_sipdport_dip_.load_cells(r.f64_vector());
+      bank.synack_history_.load_counters(r.f64_vector());
+    } catch (const std::invalid_argument& e) {
+      // Counter-array sizes disagree with the embedded config.
+      throw std::runtime_error(std::string("SketchBank wire: ") + e.what());
+    }
+    bank.packets_recorded_ = r.u64();
+    if (!r.exhausted()) {
+      throw std::runtime_error("SketchBank wire: trailing bytes");
+    }
+    return bank;
+  }
+
+ private:
+  static void write_config(ByteWriter& w, const SketchBankConfig& c) {
+    w.u64(c.seed);
+    w.u8(static_cast<std::uint8_t>(c.rs48.key_bits));
+    w.u64(c.rs48.num_stages);
+    w.u8(static_cast<std::uint8_t>(c.rs48.bucket_bits));
+    w.u8(static_cast<std::uint8_t>(c.rs64.key_bits));
+    w.u64(c.rs64.num_stages);
+    w.u8(static_cast<std::uint8_t>(c.rs64.bucket_bits));
+    w.u64(c.verification.num_stages);
+    w.u64(c.verification.num_buckets);
+    w.u64(c.original.num_stages);
+    w.u64(c.original.num_buckets);
+    w.u64(c.twod.num_stages);
+    w.u64(c.twod.x_buckets);
+    w.u64(c.twod.y_buckets);
+  }
+
+  static SketchBankConfig read_config(ByteReader& r) {
+    SketchBankConfig c;
+    c.seed = r.u64();
+    c.rs48.key_bits = r.u8();
+    c.rs48.num_stages = r.u64();
+    c.rs48.bucket_bits = r.u8();
+    c.rs64.key_bits = r.u8();
+    c.rs64.num_stages = r.u64();
+    c.rs64.bucket_bits = r.u8();
+    c.verification.num_stages = r.u64();
+    c.verification.num_buckets = r.u64();
+    c.original.num_stages = r.u64();
+    c.original.num_buckets = r.u64();
+    c.twod.num_stages = r.u64();
+    c.twod.x_buckets = r.u64();
+    c.twod.y_buckets = r.u64();
+    return c;
+  }
+};
+
+std::vector<std::uint8_t> serialize_bank(const SketchBank& bank) {
+  return SketchBankWire::serialize(bank);
+}
+
+SketchBank deserialize_bank(std::span<const std::uint8_t> bytes) {
+  return SketchBankWire::deserialize(bytes);
+}
+
+}  // namespace hifind

@@ -1,0 +1,27 @@
+// Wire format for shipping SketchBanks from edge routers to the central
+// aggregation site (paper Sec. 3.1: "we summarize the traffic information
+// with compact sketches at each edge router, and deliver them quickly to
+// some central site").
+//
+// Format "HFB1": the bank's configuration (so the receiver can verify the
+// banks are combinable) followed by every sketch's counter array. Hash
+// families are NOT shipped — they are deterministic functions of the config
+// seed, which is the property that makes cross-site COMBINE meaningful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "detect/sketch_bank.hpp"
+
+namespace hifind {
+
+/// Serializes a bank (config + counters) to a byte buffer.
+std::vector<std::uint8_t> serialize_bank(const SketchBank& bank);
+
+/// Reconstructs a bank from serialize_bank output. Throws
+/// std::runtime_error on malformed input.
+SketchBank deserialize_bank(std::span<const std::uint8_t> bytes);
+
+}  // namespace hifind

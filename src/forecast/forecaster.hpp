@@ -1,0 +1,182 @@
+// Time-series forecasting in sketch space.
+//
+// HiFIND's change detection runs entirely on sketches: at each interval the
+// observed sketch M_0(t) is compared against a forecast M_f(t) built from
+// history, and the *forecast-error sketch* e(t) = M_0(t) - M_f(t) is what
+// reverse inference thresholds. Because sketches are linear, any forecast
+// model expressible as a linear combination of past observations works
+// unchanged — we provide the paper's EWMA (Eq. 1) plus the moving-average and
+// Holt linear models evaluated in the sketch change-detection paper (IMC'03).
+//
+// All forecasters are templates over the sketch type; KarySketch,
+// ReversibleSketch and TwoDSketch all satisfy the required operations
+// (copy, accumulate, scale, combinable_with).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+namespace hifind {
+
+/// Interface: feed one observation per interval; receive the forecast-error
+/// sketch once the model has enough history (nullopt before that).
+template <class SketchT>
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Consumes the interval's observed sketch; returns e(t) = M_0(t) - M_f(t),
+  /// or nullopt while the model is still warming up.
+  virtual std::optional<SketchT> step(const SketchT& observed) = 0;
+
+  /// Discards history (e.g. when a trace restarts).
+  virtual void reset() = 0;
+};
+
+/// EWMA (paper Eq. 1): M_f(t) = alpha*M_0(t-1) + (1-alpha)*M_f(t-1), seeded
+/// with M_f(2) = M_0(1). Emits errors from the second interval on.
+template <class SketchT>
+class EwmaForecaster final : public Forecaster<SketchT> {
+ public:
+  explicit EwmaForecaster(double alpha = 0.5) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0) {
+      throw std::invalid_argument("EWMA alpha must be in (0,1]");
+    }
+  }
+
+  std::optional<SketchT> step(const SketchT& observed) override {
+    if (!forecast_) {
+      forecast_.emplace(observed);  // M_f(2) = M_0(1)
+      return std::nullopt;
+    }
+    SketchT error(observed);
+    error.accumulate(*forecast_, -1.0);
+    // Roll the model: M_f(t+1) = alpha*M_0(t) + (1-alpha)*M_f(t).
+    forecast_->scale(1.0 - alpha_);
+    forecast_->accumulate(observed, alpha_);
+    return error;
+  }
+
+  void reset() override { forecast_.reset(); }
+
+  /// Current forecast sketch (for tests); nullopt before the first step.
+  const std::optional<SketchT>& forecast() const { return forecast_; }
+
+ private:
+  double alpha_;
+  std::optional<SketchT> forecast_;
+};
+
+/// Simple moving average over the last `window` observations.
+template <class SketchT>
+class MovingAverageForecaster final : public Forecaster<SketchT> {
+ public:
+  explicit MovingAverageForecaster(std::size_t window = 5) : window_(window) {
+    if (window == 0) {
+      throw std::invalid_argument("moving-average window must be >= 1");
+    }
+  }
+
+  std::optional<SketchT> step(const SketchT& observed) override {
+    std::optional<SketchT> error;
+    if (!history_.empty()) {
+      SketchT forecast(history_.front());
+      for (std::size_t i = 1; i < history_.size(); ++i) {
+        forecast.accumulate(history_[i], 1.0);
+      }
+      forecast.scale(1.0 / static_cast<double>(history_.size()));
+      error.emplace(observed);
+      error->accumulate(forecast, -1.0);
+    }
+    history_.push_back(observed);
+    if (history_.size() > window_) history_.pop_front();
+    return error;
+  }
+
+  void reset() override { history_.clear(); }
+
+ private:
+  std::size_t window_;
+  std::deque<SketchT> history_;
+};
+
+/// Holt's linear (double-exponential) model: tracks level and trend. Useful
+/// when baseline traffic has a sustained ramp (e.g. diurnal rise) that plain
+/// EWMA would flag as persistent error.
+template <class SketchT>
+class HoltForecaster final : public Forecaster<SketchT> {
+ public:
+  HoltForecaster(double alpha = 0.5, double beta = 0.2)
+      : alpha_(alpha), beta_(beta) {
+    if (alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0) {
+      throw std::invalid_argument("Holt alpha/beta must be in (0,1]");
+    }
+  }
+
+  std::optional<SketchT> step(const SketchT& observed) override {
+    if (!level_) {
+      level_.emplace(observed);
+      return std::nullopt;
+    }
+    if (!trend_) {
+      // Second observation: trend = M_0(2) - M_0(1); no error yet (matching
+      // the IMC'03 convention that Holt needs two warmup intervals).
+      trend_.emplace(observed);
+      trend_->accumulate(*level_, -1.0);
+      level_->clear();
+      level_->accumulate(observed, 1.0);
+      return std::nullopt;
+    }
+    // Forecast = level + trend.
+    SketchT forecast(*level_);
+    forecast.accumulate(*trend_, 1.0);
+    SketchT error(observed);
+    error.accumulate(forecast, -1.0);
+    // level' = alpha*observed + (1-alpha)*(level + trend)
+    SketchT new_level(forecast);
+    new_level.scale(1.0 - alpha_);
+    new_level.accumulate(observed, alpha_);
+    // trend' = beta*(level' - level) + (1-beta)*trend
+    SketchT delta(new_level);
+    delta.accumulate(*level_, -1.0);
+    trend_->scale(1.0 - beta_);
+    trend_->accumulate(delta, beta_);
+    *level_ = std::move(new_level);
+    return error;
+  }
+
+  void reset() override {
+    level_.reset();
+    trend_.reset();
+  }
+
+ private:
+  double alpha_;
+  double beta_;
+  std::optional<SketchT> level_;
+  std::optional<SketchT> trend_;
+};
+
+/// Forecast model selector for configs.
+enum class ForecastModel : std::uint8_t { kEwma, kMovingAverage, kHolt };
+
+/// Factory for the configured model.
+template <class SketchT>
+std::unique_ptr<Forecaster<SketchT>> make_forecaster(ForecastModel model,
+                                                     double alpha = 0.5,
+                                                     double beta = 0.2,
+                                                     std::size_t window = 5) {
+  switch (model) {
+    case ForecastModel::kEwma:
+      return std::make_unique<EwmaForecaster<SketchT>>(alpha);
+    case ForecastModel::kMovingAverage:
+      return std::make_unique<MovingAverageForecaster<SketchT>>(window);
+    case ForecastModel::kHolt:
+      return std::make_unique<HoltForecaster<SketchT>>(alpha, beta);
+  }
+  throw std::invalid_argument("unknown forecast model");
+}
+
+}  // namespace hifind

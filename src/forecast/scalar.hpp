@@ -1,0 +1,73 @@
+// Scalar time-series primitives for the baseline detectors.
+//
+// CPM (Wang/Zhang/Shin, INFOCOM 2002) monitors a single aggregate statistic
+// with a non-parametric CUSUM; these helpers keep that logic reusable and
+// unit-testable apart from the packet plumbing.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+namespace hifind {
+
+/// Scalar exponentially weighted moving average.
+class ScalarEwma {
+ public:
+  explicit ScalarEwma(double alpha) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0) {
+      throw std::invalid_argument("EWMA alpha must be in (0,1]");
+    }
+  }
+
+  /// Feeds one sample; returns the updated mean.
+  double update(double x) {
+    if (!mean_) {
+      mean_ = x;
+    } else {
+      mean_ = alpha_ * x + (1.0 - alpha_) * *mean_;
+    }
+    return *mean_;
+  }
+
+  bool primed() const { return mean_.has_value(); }
+  double mean() const { return mean_.value_or(0.0); }
+  void reset() { mean_.reset(); }
+
+ private:
+  double alpha_;
+  std::optional<double> mean_;
+};
+
+/// Non-parametric CUSUM (Brodsky & Darkhovsky form used by CPM):
+///   y_n = max(0, y_{n-1} + x_n - offset)
+/// and an alarm fires while y_n exceeds the threshold. `offset` shifts the
+/// in-control mean of x below zero so y drifts back down between changes.
+class Cusum {
+ public:
+  /// @param offset     drift removed from each sample (the "a" in CPM).
+  /// @param threshold  alarm level for the accumulated statistic.
+  Cusum(double offset, double threshold)
+      : offset_(offset), threshold_(threshold) {
+    if (threshold <= 0.0) {
+      throw std::invalid_argument("CUSUM threshold must be positive");
+    }
+  }
+
+  /// Feeds one sample; returns true while in the alarm state.
+  bool update(double x) {
+    value_ = std::max(0.0, value_ + x - offset_);
+    return value_ > threshold_;
+  }
+
+  double value() const { return value_; }
+  bool alarmed() const { return value_ > threshold_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double offset_;
+  double threshold_;
+  double value_{0.0};
+};
+
+}  // namespace hifind

@@ -1,0 +1,248 @@
+#include "gen/attacks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hifind {
+namespace {
+
+Timestamp exp_gap_us(Pcg32& rng, double rate) {
+  const double u = std::max(rng.uniform(), 1e-12);
+  return static_cast<Timestamp>(-std::log(u) / rate * kMicrosPerSecond) + 1;
+}
+
+PacketRecord make_syn(Timestamp ts, IPv4 sip, std::uint16_t sport, IPv4 dip,
+                      std::uint16_t dport, bool outbound) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = sip;
+  p.dip = dip;
+  p.sport = sport;
+  p.dport = dport;
+  p.len = 40;
+  p.flags = kSyn;
+  p.outbound = outbound;
+  return p;
+}
+
+PacketRecord make_synack(Timestamp ts, IPv4 sip, std::uint16_t sport,
+                         IPv4 dip, std::uint16_t dport, bool outbound) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = sip;
+  p.dip = dip;
+  p.sport = sport;
+  p.dport = dport;
+  p.len = 40;
+  p.flags = kSyn | kAck;
+  p.outbound = outbound;
+  return p;
+}
+
+}  // namespace
+
+void inject_syn_flood(const SynFloodSpec& spec, const NetworkModel& net,
+                      Pcg32& rng, Trace& trace, GroundTruthLedger& ledger) {
+  GroundTruthEvent ev;
+  ev.kind = spec.spoofed ? EventKind::kSynFloodSpoofed
+                         : EventKind::kSynFloodFixed;
+  ev.label = spec.label;
+  ev.start = spec.start;
+  ev.end = spec.start + spec.duration;
+  if (!spec.spoofed) ev.sip = spec.attacker;
+  ev.dip = spec.victim_ip;
+  ev.dport = spec.victim_port;
+  ev.rate_pps = spec.rate_pps;
+  ledger.add(ev);
+
+  Timestamp ts = spec.start;
+  const Timestamp end = spec.start + spec.duration;
+  while ((ts += exp_gap_us(rng, spec.rate_pps)) < end) {
+    const IPv4 sip =
+        spec.spoofed ? net.sample_spoofed_source(rng) : spec.attacker;
+    const auto sport = static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+    trace.push_back(make_syn(ts, sip, sport, spec.victim_ip, spec.victim_port,
+                             /*outbound=*/false));
+    if (rng.chance(spec.victim_answer_fraction)) {
+      trace.push_back(make_synack(ts + 1000 + rng.bounded(50000),
+                                  spec.victim_ip, spec.victim_port, sip,
+                                  sport, /*outbound=*/true));
+    }
+  }
+}
+
+void inject_horizontal_scan(const HscanSpec& spec, const NetworkModel& net,
+                            Pcg32& rng, Trace& trace,
+                            GroundTruthLedger& ledger) {
+  GroundTruthEvent ev;
+  ev.kind = EventKind::kHorizontalScan;
+  ev.label = spec.label;
+  ev.start = spec.start;
+  ev.end = spec.start + spec.duration;
+  ev.sip = spec.attacker;
+  ev.dport = spec.dport;
+  ev.rate_pps = static_cast<double>(spec.num_targets) /
+                (static_cast<double>(spec.duration) / kMicrosPerSecond);
+  ledger.add(ev);
+
+  // Even sweep with jitter, one SYN per target (scanners do not retransmit).
+  const Timestamp gap =
+      spec.num_targets > 0 ? spec.duration / spec.num_targets : spec.duration;
+  Timestamp ts = spec.start;
+  const bool inbound = spec.targets_internal;
+  for (std::size_t i = 0; i < spec.num_targets; ++i) {
+    IPv4 target;
+    if (spec.targets_internal) {
+      target = net.sample_internal_address(rng);
+    } else {
+      do {
+        target = IPv4{rng.next()};
+      } while (net.is_internal(target));
+    }
+    const auto sport = static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+    trace.push_back(
+        make_syn(ts, spec.attacker, sport, target, spec.dport, !inbound));
+    if (rng.chance(spec.open_fraction)) {
+      trace.push_back(make_synack(ts + 1000 + rng.bounded(30000), target,
+                                  spec.dport, spec.attacker, sport, inbound));
+    }
+    ts += gap > 1 ? 1 + rng.bounded(static_cast<std::uint32_t>(
+                            std::min<Timestamp>(2 * gap, 0xffffffffu)))
+                  : 1;
+  }
+}
+
+void inject_vertical_scan(const VscanSpec& spec, const NetworkModel& net,
+                          Pcg32& rng, Trace& trace,
+                          GroundTruthLedger& ledger) {
+  GroundTruthEvent ev;
+  ev.kind = EventKind::kVerticalScan;
+  ev.label = spec.label;
+  ev.start = spec.start;
+  ev.end = spec.start + spec.duration;
+  ev.sip = spec.attacker;
+  ev.dip = spec.target;
+  ev.rate_pps = static_cast<double>(spec.num_ports) /
+                (static_cast<double>(spec.duration) / kMicrosPerSecond);
+  ledger.add(ev);
+
+  const bool inbound = net.is_internal(spec.target);
+  const Timestamp gap =
+      spec.num_ports > 0 ? spec.duration / spec.num_ports : spec.duration;
+  Timestamp ts = spec.start;
+  for (std::size_t i = 0; i < spec.num_ports; ++i) {
+    const auto dport = static_cast<std::uint16_t>(
+        spec.first_port + (i % 65535));
+    const auto sport = static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+    trace.push_back(
+        make_syn(ts, spec.attacker, sport, spec.target, dport, !inbound));
+    if (rng.chance(spec.open_fraction)) {
+      trace.push_back(make_synack(ts + 1000 + rng.bounded(30000), spec.target,
+                                  dport, spec.attacker, sport, inbound));
+    }
+    ts += gap > 1 ? 1 + rng.bounded(static_cast<std::uint32_t>(
+                            std::min<Timestamp>(2 * gap, 0xffffffffu)))
+                  : 1;
+  }
+}
+
+void inject_block_scan(const BlockScanSpec& spec, const NetworkModel& net,
+                       Pcg32& rng, Trace& trace, GroundTruthLedger& ledger) {
+  GroundTruthEvent ev;
+  ev.kind = EventKind::kBlockScan;
+  ev.label = spec.label;
+  ev.start = spec.start;
+  ev.end = spec.start + spec.duration;
+  ev.sip = spec.attacker;
+  ev.rate_pps =
+      static_cast<double>(spec.num_targets * spec.num_ports) /
+      (static_cast<double>(spec.duration) / kMicrosPerSecond);
+  ledger.add(ev);
+
+  std::vector<IPv4> targets(spec.num_targets);
+  for (auto& t : targets) t = net.sample_internal_address(rng);
+
+  const std::size_t probes = spec.num_targets * spec.num_ports;
+  const Timestamp gap = probes > 0 ? spec.duration / probes : spec.duration;
+  Timestamp ts = spec.start;
+  for (std::size_t pi = 0; pi < spec.num_ports; ++pi) {
+    const auto dport =
+        static_cast<std::uint16_t>(spec.first_port + (pi % 65535));
+    for (const IPv4 target : targets) {
+      const auto sport =
+          static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+      trace.push_back(
+          make_syn(ts, spec.attacker, sport, target, dport, false));
+      if (rng.chance(spec.open_fraction)) {
+        trace.push_back(make_synack(ts + 1000 + rng.bounded(30000), target,
+                                    dport, spec.attacker, sport, true));
+      }
+      ts += gap > 1 ? 1 + rng.bounded(static_cast<std::uint32_t>(
+                              std::min<Timestamp>(2 * gap, 0xffffffffu)))
+                    : 1;
+    }
+  }
+}
+
+void inject_flash_crowd(const FlashCrowdSpec& spec, const NetworkModel& net,
+                        Pcg32& rng, Trace& trace, GroundTruthLedger& ledger) {
+  GroundTruthEvent ev;
+  ev.kind = EventKind::kFlashCrowd;
+  ev.label = spec.label;
+  ev.start = spec.start;
+  ev.end = spec.start + spec.duration;
+  ev.dip = spec.service_ip;
+  ev.dport = spec.service_port;
+  ev.rate_pps = spec.rate_pps;
+  ledger.add(ev);
+
+  Timestamp ts = spec.start;
+  const Timestamp end = spec.start + spec.duration;
+  while ((ts += exp_gap_us(rng, spec.rate_pps)) < end) {
+    const IPv4 client = net.sample_external_client(rng);
+    const auto sport = static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+    trace.push_back(make_syn(ts, client, sport, spec.service_ip,
+                             spec.service_port, false));
+    if (rng.chance(spec.success_fraction)) {
+      trace.push_back(make_synack(ts + 1000 + rng.bounded(100000),
+                                  spec.service_ip, spec.service_port, client,
+                                  sport, true));
+    }
+  }
+}
+
+void inject_misconfiguration(const MisconfigSpec& spec,
+                             const NetworkModel& net, Pcg32& rng,
+                             Trace& trace, GroundTruthLedger& ledger) {
+  GroundTruthEvent ev;
+  ev.kind = EventKind::kMisconfiguration;
+  ev.label = spec.label;
+  ev.start = spec.start;
+  ev.end = spec.start + spec.duration;
+  ev.dip = spec.dead_ip;
+  ev.dport = spec.dead_port;
+  ev.rate_pps = spec.rate_pps;
+  ledger.add(ev);
+
+  // A fixed cohort of real clients keeps retrying the dead endpoint; their
+  // stacks retransmit, so the SYN volume is sustained and flood-like.
+  std::vector<IPv4> clients(spec.num_clients);
+  for (auto& c : clients) c = net.sample_external_client(rng);
+
+  Timestamp ts = spec.start;
+  const Timestamp end = spec.start + spec.duration;
+  while ((ts += exp_gap_us(rng, spec.rate_pps)) < end) {
+    const IPv4 client =
+        clients[rng.bounded(static_cast<std::uint32_t>(clients.size()))];
+    const auto sport = static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+    trace.push_back(
+        make_syn(ts, client, sport, spec.dead_ip, spec.dead_port, false));
+    // No answer, ever — and a stack retransmission 3s later.
+    if (ts + 3 * kMicrosPerSecond < end) {
+      trace.push_back(make_syn(ts + 3 * kMicrosPerSecond, client, sport,
+                               spec.dead_ip, spec.dead_port, false));
+    }
+  }
+}
+
+}  // namespace hifind

@@ -1,0 +1,113 @@
+// Attack and anomaly injectors.
+//
+// Each injector appends packets to a trace AND records a GroundTruthEvent, so
+// downstream evaluation is exact. Packet-level behaviour follows how the
+// paper characterizes each class:
+//   SYN flood     high-rate SYNs at one {DIP,Dport}; spoofed floods draw a
+//                 fresh random source per packet (the DoS-resilience stressor
+//                 of Sec. 3.5); the overwhelmed victim answers only a sliver.
+//   Hscan         one source, one port, a sweep of destinations; scanners
+//                 send a single SYN per target (no stack retransmits); a few
+//                 targets are live and answer.
+//   Vscan         one source, one destination, a sweep of ports; a few open.
+//   Block scan    destinations x ports grid.
+//   Flash crowd   many REAL clients, one service, mostly successful — must
+//                 survive the ratio filter as a non-attack.
+//   Misconfig     real clients persistently re-knocking a dead service —
+//                 must be removed by the active-service filter.
+#pragma once
+
+#include <string>
+
+#include "gen/ground_truth.hpp"
+#include "gen/network_model.hpp"
+#include "packet/trace.hpp"
+
+namespace hifind {
+
+struct SynFloodSpec {
+  IPv4 victim_ip{};
+  std::uint16_t victim_port{80};
+  Timestamp start{0};
+  Timestamp duration{60 * kMicrosPerSecond};
+  double rate_pps{500.0};
+  bool spoofed{true};
+  IPv4 attacker{};               ///< used when !spoofed
+  double victim_answer_fraction{0.02};  ///< backlog lets a few through
+  std::string label{"SYN flood"};
+};
+
+struct HscanSpec {
+  IPv4 attacker{};
+  std::uint16_t dport{1433};
+  std::size_t num_targets{2000};
+  Timestamp start{0};
+  Timestamp duration{120 * kMicrosPerSecond};
+  double open_fraction{0.03};  ///< targets that answer (port open)
+  bool targets_internal{true}; ///< inbound sweep of the edge net
+  std::string label{"horizontal scan"};
+};
+
+struct VscanSpec {
+  IPv4 attacker{};
+  IPv4 target{};
+  std::uint16_t first_port{1};
+  std::size_t num_ports{1024};
+  Timestamp start{0};
+  Timestamp duration{120 * kMicrosPerSecond};
+  double open_fraction{0.01};
+  std::string label{"vertical scan"};
+};
+
+struct BlockScanSpec {
+  IPv4 attacker{};
+  std::size_t num_targets{64};
+  std::size_t num_ports{32};
+  std::uint16_t first_port{1};
+  Timestamp start{0};
+  Timestamp duration{180 * kMicrosPerSecond};
+  double open_fraction{0.01};
+  std::string label{"block scan"};
+};
+
+struct FlashCrowdSpec {
+  IPv4 service_ip{};
+  std::uint16_t service_port{80};
+  Timestamp start{0};
+  Timestamp duration{120 * kMicrosPerSecond};
+  double rate_pps{300.0};
+  double success_fraction{0.7};  ///< overloaded but mostly answering
+  std::string label{"flash crowd"};
+};
+
+struct MisconfigSpec {
+  IPv4 dead_ip{};
+  std::uint16_t dead_port{80};
+  std::size_t num_clients{40};
+  Timestamp start{0};
+  Timestamp duration{600 * kMicrosPerSecond};
+  double rate_pps{90.0};
+  std::string label{"stale DNS entry"};
+};
+
+void inject_syn_flood(const SynFloodSpec& spec, const NetworkModel& net,
+                      Pcg32& rng, Trace& trace, GroundTruthLedger& ledger);
+
+void inject_horizontal_scan(const HscanSpec& spec, const NetworkModel& net,
+                            Pcg32& rng, Trace& trace,
+                            GroundTruthLedger& ledger);
+
+void inject_vertical_scan(const VscanSpec& spec, const NetworkModel& net,
+                          Pcg32& rng, Trace& trace, GroundTruthLedger& ledger);
+
+void inject_block_scan(const BlockScanSpec& spec, const NetworkModel& net,
+                       Pcg32& rng, Trace& trace, GroundTruthLedger& ledger);
+
+void inject_flash_crowd(const FlashCrowdSpec& spec, const NetworkModel& net,
+                        Pcg32& rng, Trace& trace, GroundTruthLedger& ledger);
+
+void inject_misconfiguration(const MisconfigSpec& spec,
+                             const NetworkModel& net, Pcg32& rng, Trace& trace,
+                             GroundTruthLedger& ledger);
+
+}  // namespace hifind

@@ -1,0 +1,225 @@
+#include "gen/background.hpp"
+
+#include "common/hash.hpp"
+
+#include <cmath>
+
+namespace hifind {
+namespace {
+
+/// Exponential inter-arrival draw for a Poisson process at `rate` per second.
+Timestamp exp_gap_us(Pcg32& rng, double rate) {
+  const double u = std::max(rng.uniform(), 1e-12);
+  const double seconds = -std::log(u) / rate;
+  return static_cast<Timestamp>(seconds * kMicrosPerSecond) + 1;
+}
+
+struct ConnectionOptions {
+  bool success{true};
+  bool rst_on_failure{false};
+  bool emit_fins{true};
+  std::size_t failed_retries{0};
+  bool client_is_internal{false};
+};
+
+/// Emits the packets of one connection attempt: SYN (+retries when ignored),
+/// then SYN/ACK + optional FIN close on success, or an RST on refusal.
+void emit_connection(Trace& trace, Pcg32& rng, Timestamp ts, IPv4 client,
+                     std::uint16_t sport, IPv4 server, std::uint16_t dport,
+                     const ConnectionOptions& opt) {
+  PacketRecord syn;
+  syn.ts = ts;
+  syn.sip = client;
+  syn.dip = server;
+  syn.sport = sport;
+  syn.dport = dport;
+  syn.len = 40;
+  syn.flags = kSyn;
+  syn.outbound = opt.client_is_internal;
+  trace.push_back(syn);
+
+  const Timestamp rtt = 2000 + rng.bounded(80000);  // 2-82 ms
+  if (opt.success) {
+    PacketRecord synack;
+    synack.ts = ts + rtt;
+    synack.sip = server;
+    synack.dip = client;
+    synack.sport = dport;
+    synack.dport = sport;
+    synack.len = 40;
+    synack.flags = kSyn | kAck;
+    synack.outbound = !opt.client_is_internal;
+    trace.push_back(synack);
+
+    if (opt.emit_fins) {
+      const Timestamp life = 50000 + rng.bounded(20 * 1000000);  // 50ms-20s
+      PacketRecord fin1 = syn;
+      fin1.ts = ts + rtt + life;
+      fin1.flags = kFin | kAck;
+      trace.push_back(fin1);
+      PacketRecord fin2 = synack;
+      fin2.ts = ts + rtt + life + rtt;
+      fin2.flags = kFin | kAck;
+      trace.push_back(fin2);
+    }
+    return;
+  }
+
+  if (opt.rst_on_failure) {
+    PacketRecord rst;
+    rst.ts = ts + rtt;
+    rst.sip = server;
+    rst.dip = client;
+    rst.sport = dport;
+    rst.dport = sport;
+    rst.len = 40;
+    rst.flags = kRst | kAck;
+    rst.outbound = !opt.client_is_internal;
+    trace.push_back(rst);
+    return;
+  }
+
+  // Silent failure: the client's stack retransmits with backoff (3s, 9s, ...)
+  Timestamp retry_gap = 3 * kMicrosPerSecond;
+  Timestamp retry_ts = ts;
+  for (std::size_t i = 0; i < opt.failed_retries; ++i) {
+    retry_ts += retry_gap;
+    retry_gap *= 3;
+    PacketRecord retry = syn;
+    retry.ts = retry_ts;
+    trace.push_back(retry);
+  }
+}
+
+bool in_failure_window(const std::vector<ServerFailureWindow>& failures,
+                       std::size_t service_index, Timestamp ts) {
+  for (const auto& w : failures) {
+    if (w.service_index == service_index && ts >= w.start && ts < w.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void generate_background(const BackgroundConfig& config,
+                         const NetworkModel& net, Timestamp duration,
+                         const std::vector<ServerFailureWindow>& failures,
+                         Trace& trace, GroundTruthLedger& ledger) {
+  Pcg32 rng(mix64(config.seed), mix64(config.seed ^ 0x77a3d2c1b0e9f806ULL));
+
+  // External service endpoints for outbound connections.
+  std::vector<Service> external_services(config.num_external_services);
+  constexpr std::uint16_t kExternalPorts[] = {80, 443, 22, 25, 53, 8080, 993};
+  for (auto& s : external_services) {
+    IPv4 ip;
+    do {
+      ip = IPv4{rng.next()};
+    } while (net.is_internal(ip));
+    s.ip = ip;
+    s.port = kExternalPorts[rng.bounded(std::size(kExternalPorts))];
+  }
+
+  // A small pool of internal P2P participants, each with a peer list.
+  std::vector<IPv4> p2p_hosts(config.num_p2p_hosts);
+  for (auto& h : p2p_hosts) h = net.sample_internal_client(rng);
+
+  for (const auto& w : failures) {
+    const Service& svc = net.services()[w.service_index];
+    GroundTruthEvent ev;
+    ev.kind = EventKind::kServerFailure;
+    ev.label = "server failure";
+    ev.start = w.start;
+    ev.end = w.end;
+    ev.dip = svc.ip;
+    ev.dport = svc.port;
+    ledger.add(ev);
+  }
+
+  // Benign TCP connections.
+  Timestamp ts = exp_gap_us(rng, config.connections_per_second);
+  while (ts < duration) {
+    const double what = rng.uniform();
+    ConnectionOptions opt;
+    opt.failed_retries = config.failed_syn_retries;
+
+    if (what < config.p2p_fraction) {
+      // P2P: internal host to a random external peer on a high port.
+      const IPv4 host =
+          p2p_hosts[rng.bounded(static_cast<std::uint32_t>(p2p_hosts.size()))];
+      IPv4 peer;
+      do {
+        peer = IPv4{rng.next()};
+      } while (net.is_internal(peer));
+      const auto peer_port =
+          static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+      opt.client_is_internal = true;
+      opt.success = rng.chance(0.7);  // many stale peers
+      opt.rst_on_failure = rng.chance(0.5);
+      opt.emit_fins = rng.chance(config.fin_prob);
+      emit_connection(trace, rng, ts, host,
+                      static_cast<std::uint16_t>(1024 + rng.bounded(60000)),
+                      peer, peer_port, opt);
+    } else if (what < config.p2p_fraction +
+                          config.inbound_fraction * (1 - config.p2p_fraction)) {
+      // Inbound: external client to internal service.
+      std::size_t svc_index = 0;
+      const Service* svc = nullptr;
+      // sample_service never returns dead services; find its roster index for
+      // failure-window lookup.
+      const Service& picked = net.sample_service(rng);
+      for (std::size_t i = 0; i < net.services().size(); ++i) {
+        if (net.services()[i].ip == picked.ip &&
+            net.services()[i].port == picked.port) {
+          svc_index = i;
+          svc = &net.services()[i];
+          break;
+        }
+      }
+      const IPv4 client = net.sample_external_client(rng);
+      opt.client_is_internal = false;
+      const bool failed_window = in_failure_window(failures, svc_index, ts);
+      const double fail_p =
+          failed_window ? 0.95 : config.benign_failure_prob;
+      opt.success = svc != nullptr && !rng.chance(fail_p);
+      opt.rst_on_failure = !failed_window && rng.chance(config.rst_prob);
+      opt.emit_fins = rng.chance(config.fin_prob);
+      emit_connection(trace, rng, ts, client,
+                      static_cast<std::uint16_t>(1024 + rng.bounded(60000)),
+                      picked.ip, picked.port, opt);
+    } else {
+      // Outbound: internal client to external service.
+      const IPv4 client = net.sample_internal_client(rng);
+      const Service& svc = external_services[rng.bounded(
+          static_cast<std::uint32_t>(external_services.size()))];
+      opt.client_is_internal = true;
+      opt.success = !rng.chance(config.benign_failure_prob);
+      opt.rst_on_failure = rng.chance(config.rst_prob);
+      opt.emit_fins = rng.chance(config.fin_prob);
+      emit_connection(trace, rng, ts, client,
+                      static_cast<std::uint16_t>(1024 + rng.bounded(60000)),
+                      svc.ip, svc.port, opt);
+    }
+    ts += exp_gap_us(rng, config.connections_per_second);
+  }
+
+  // Non-TCP noise: keeps the recorders honest about ignoring other protocols.
+  if (config.udp_noise_per_second > 0) {
+    Timestamp uts = exp_gap_us(rng, config.udp_noise_per_second);
+    while (uts < duration) {
+      PacketRecord udp;
+      udp.ts = uts;
+      udp.sip = net.sample_external_client(rng);
+      udp.dip = net.sample_internal_address(rng);
+      udp.sport = static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+      udp.dport = 53;
+      udp.len = static_cast<std::uint16_t>(60 + rng.bounded(400));
+      udp.proto = Protocol::kUdp;
+      trace.push_back(udp);
+      uts += exp_gap_us(rng, config.udp_noise_per_second);
+    }
+  }
+}
+
+}  // namespace hifind

@@ -1,0 +1,53 @@
+// Benign background traffic.
+//
+// Connections arrive as a Poisson process, split between inbound (external
+// client -> internal service) and outbound (internal client -> external
+// service) directions, plus a P2P component in which one internal host
+// contacts many external peers with mediocre success — the traffic class the
+// paper notes trips superspreader detectors. Successful connections complete
+// the handshake and (usually) close with FINs, keeping the SYN/FIN balance
+// CPM relies on. A small benign failure rate, plus optional server-failure
+// windows during which a service answers almost nothing, gives the Phase-3
+// heuristics realistic false-positive pressure.
+#pragma once
+
+#include <vector>
+
+#include "common/interval.hpp"
+#include "gen/ground_truth.hpp"
+#include "gen/network_model.hpp"
+#include "packet/trace.hpp"
+
+namespace hifind {
+
+struct BackgroundConfig {
+  double connections_per_second{80.0};
+  double inbound_fraction{0.6};      ///< share targeting internal services
+  double p2p_fraction{0.08};         ///< share that is P2P fan-out
+  double benign_failure_prob{0.02};  ///< unanswered benign attempts
+  double fin_prob{0.9};              ///< successful connections closing w/ FIN
+  double rst_prob{0.3};              ///< failed attempts answered by RST
+  std::size_t failed_syn_retries{2}; ///< real stacks retransmit lost SYNs
+  double udp_noise_per_second{5.0};
+  std::size_t num_external_services{500};
+  std::size_t num_p2p_hosts{20};
+  std::uint64_t seed{23};
+};
+
+/// A window during which one internal service stops answering (overload,
+/// crash, upstream congestion). Benign clients keep knocking.
+struct ServerFailureWindow {
+  std::size_t service_index{0};  ///< into NetworkModel::services()
+  Timestamp start{0};
+  Timestamp end{0};
+};
+
+/// Generates background traffic over [0, duration) into `trace`, recording
+/// failure windows into `ledger` (kind kServerFailure) so the evaluator
+/// knows these intervals may legitimately look anomalous.
+void generate_background(const BackgroundConfig& config,
+                         const NetworkModel& net, Timestamp duration,
+                         const std::vector<ServerFailureWindow>& failures,
+                         Trace& trace, GroundTruthLedger& ledger);
+
+}  // namespace hifind

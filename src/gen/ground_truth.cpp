@@ -1,0 +1,44 @@
+#include "gen/ground_truth.hpp"
+
+namespace hifind {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSynFloodSpoofed:
+      return "spoofed SYN flood";
+    case EventKind::kSynFloodFixed:
+      return "non-spoofed SYN flood";
+    case EventKind::kHorizontalScan:
+      return "horizontal scan";
+    case EventKind::kVerticalScan:
+      return "vertical scan";
+    case EventKind::kBlockScan:
+      return "block scan";
+    case EventKind::kFlashCrowd:
+      return "flash crowd";
+    case EventKind::kMisconfiguration:
+      return "misconfiguration";
+    case EventKind::kServerFailure:
+      return "server failure";
+  }
+  return "unknown";
+}
+
+std::vector<GroundTruthEvent> GroundTruthLedger::attacks() const {
+  std::vector<GroundTruthEvent> out;
+  for (const auto& e : events_) {
+    if (is_attack(e.kind)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<GroundTruthEvent> GroundTruthLedger::active(Timestamp a,
+                                                        Timestamp b) const {
+  std::vector<GroundTruthEvent> out;
+  for (const auto& e : events_) {
+    if (e.active_during(a, b)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace hifind

@@ -1,0 +1,77 @@
+// Ground-truth ledger for synthetic traces.
+//
+// The paper validates detections by hand (Sec. 5.4); a synthetic trace lets
+// us do better — every injected event is recorded here, so the evaluation
+// module can compute exact detection/false-positive/false-negative counts,
+// and benches can label detected scans with their generating cause the way
+// the paper's Tables 7/8 label theirs ("SQLSnake scan", "Sasser worm", ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/types.hpp"
+
+namespace hifind {
+
+/// Everything the generator can inject, attacks and benign anomalies alike.
+enum class EventKind : std::uint8_t {
+  kSynFloodSpoofed,     ///< flood with per-packet random source IPs
+  kSynFloodFixed,       ///< flood from one real (non-spoofed) source
+  kHorizontalScan,      ///< one SIP, one Dport, many DIPs
+  kVerticalScan,        ///< one SIP, one DIP, many Dports
+  kBlockScan,           ///< one SIP, many DIPs x many Dports
+  kFlashCrowd,          ///< many real clients, one service, mostly successful
+  kMisconfiguration,    ///< persistent SYNs to a dead service (stale DNS)
+  kServerFailure,       ///< live service stops answering for a window
+};
+
+const char* event_kind_name(EventKind kind);
+
+/// True for the kinds a correct IDS should alert on.
+constexpr bool is_attack(EventKind kind) {
+  return kind == EventKind::kSynFloodSpoofed ||
+         kind == EventKind::kSynFloodFixed ||
+         kind == EventKind::kHorizontalScan ||
+         kind == EventKind::kVerticalScan || kind == EventKind::kBlockScan;
+}
+
+/// One injected event with its identifying flow facets. Facets that vary
+/// per packet (e.g. the spoofed SIP of a flood, the scanned DIPs of an
+/// Hscan) are left unset.
+struct GroundTruthEvent {
+  EventKind kind{EventKind::kHorizontalScan};
+  std::string label;               ///< human cause, e.g. "SQLSnake scan"
+  Timestamp start{0};
+  Timestamp end{0};
+  std::optional<IPv4> sip;         ///< attacker, if fixed
+  std::optional<IPv4> dip;         ///< victim/target, if fixed
+  std::optional<std::uint16_t> dport;  ///< service, if fixed
+  double rate_pps{0.0};            ///< injected SYN rate
+
+  bool active_during(Timestamp a, Timestamp b) const {
+    return start < b && end > a;
+  }
+};
+
+/// Append-only ledger; the generator fills it, the evaluator queries it.
+class GroundTruthLedger {
+ public:
+  void add(GroundTruthEvent event) { events_.push_back(std::move(event)); }
+
+  const std::vector<GroundTruthEvent>& events() const { return events_; }
+
+  /// Events of attack kinds only.
+  std::vector<GroundTruthEvent> attacks() const;
+
+  /// Events (of any kind) overlapping [a, b).
+  std::vector<GroundTruthEvent> active(Timestamp a, Timestamp b) const;
+
+ private:
+  std::vector<GroundTruthEvent> events_;
+};
+
+}  // namespace hifind

@@ -1,0 +1,131 @@
+#include "gen/network_model.hpp"
+
+#include "common/hash.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hifind {
+namespace {
+
+/// Well-known service ports with rough real-world weights; scan-magnet ports
+/// (1433, 445, ...) intentionally included so attack and benign traffic share
+/// key space the way real traces do.
+struct PortWeight {
+  std::uint16_t port;
+  double weight;
+};
+constexpr PortWeight kPortMix[] = {
+    {80, 35.0},  {443, 25.0}, {25, 8.0},   {22, 6.0},  {53, 5.0},
+    {110, 3.0},  {143, 3.0},  {993, 2.0},  {3306, 2.0}, {1433, 1.5},
+    {8080, 1.5}, {445, 1.5},  {139, 1.0},  {21, 1.0},  {8443, 1.0},
+};
+
+}  // namespace
+
+NetworkModel::NetworkModel(const NetworkModelConfig& config)
+    : config_(config) {
+  if (config_.internal_prefixes.empty() || config_.num_servers == 0) {
+    throw std::invalid_argument(
+        "NetworkModel needs >=1 internal prefix and >=1 server");
+  }
+  Pcg32 rng(mix64(config_.seed), mix64(config_.seed ^ 0x6d5c4b3a29180716ULL));
+
+  // Servers: internal addresses hosting one weighted-random service each,
+  // with Zipf-like per-server popularity so a few services dominate.
+  double total_port_weight = 0.0;
+  for (const auto& pw : kPortMix) total_port_weight += pw.weight;
+  services_.reserve(config_.num_servers);
+  for (std::size_t i = 0; i < config_.num_servers; ++i) {
+    double pick = rng.uniform() * total_port_weight;
+    std::uint16_t port = kPortMix[0].port;
+    for (const auto& pw : kPortMix) {
+      if (pick < pw.weight) {
+        port = pw.port;
+        break;
+      }
+      pick -= pw.weight;
+    }
+    Service s;
+    s.ip = sample_internal_address(rng);
+    s.port = port;
+    s.popularity = 1.0 / static_cast<double>(i + 1);  // Zipf rank weight
+    services_.push_back(s);
+  }
+  // One stable dead service: a host slot that answers nothing, pointed at by
+  // "stale DNS". Give it a plausible port and zero benign popularity.
+  dead_index_ = services_.size() - 1;
+  services_[dead_index_].alive = false;
+  services_[dead_index_].popularity = 0.0;
+
+  service_cdf_.resize(services_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < services_.size(); ++i) {
+    acc += services_[i].alive ? services_[i].popularity : 0.0;
+    service_cdf_[i] = acc;
+  }
+  if (acc <= 0.0) {
+    throw std::invalid_argument("NetworkModel: no live service popularity");
+  }
+
+  internal_clients_.reserve(config_.num_internal_clients);
+  for (std::size_t i = 0; i < config_.num_internal_clients; ++i) {
+    internal_clients_.push_back(sample_internal_address(rng));
+  }
+  // External clients cluster in a few hundred real /16s (ISP blocks), which
+  // keeps their first-octet distribution NON-uniform — the property the
+  // backscatter validator uses to tell flash crowds from spoofed floods.
+  std::vector<std::uint32_t> isp_blocks;
+  const std::size_t num_blocks = 300;
+  isp_blocks.reserve(num_blocks);
+  for (std::size_t i = 0; i < num_blocks; ++i) {
+    std::uint32_t prefix;
+    do {
+      prefix = rng.next() & 0xffff0000u;
+    } while (is_internal(IPv4{prefix}));
+    isp_blocks.push_back(prefix);
+  }
+  external_clients_.reserve(config_.num_external_clients);
+  for (std::size_t i = 0; i < config_.num_external_clients; ++i) {
+    const std::uint32_t block = isp_blocks[rng.bounded(
+        static_cast<std::uint32_t>(isp_blocks.size()))];
+    external_clients_.push_back(IPv4{block | (rng.next() & 0xffffu)});
+  }
+}
+
+bool NetworkModel::is_internal(IPv4 ip) const {
+  const auto prefix = static_cast<std::uint16_t>(ip.addr >> 16);
+  return std::find(config_.internal_prefixes.begin(),
+                   config_.internal_prefixes.end(),
+                   prefix) != config_.internal_prefixes.end();
+}
+
+const Service& NetworkModel::sample_service(Pcg32& rng) const {
+  const double pick = rng.uniform() * service_cdf_.back();
+  const auto it =
+      std::upper_bound(service_cdf_.begin(), service_cdf_.end(), pick);
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - service_cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(services_.size()) -
+                                   1));
+  return services_[idx];
+}
+
+IPv4 NetworkModel::sample_internal_client(Pcg32& rng) const {
+  return internal_clients_[rng.bounded(
+      static_cast<std::uint32_t>(internal_clients_.size()))];
+}
+
+IPv4 NetworkModel::sample_external_client(Pcg32& rng) const {
+  return external_clients_[rng.bounded(
+      static_cast<std::uint32_t>(external_clients_.size()))];
+}
+
+IPv4 NetworkModel::sample_internal_address(Pcg32& rng) const {
+  const std::uint16_t prefix = config_.internal_prefixes[rng.bounded(
+      static_cast<std::uint32_t>(config_.internal_prefixes.size()))];
+  return IPv4{(std::uint32_t{prefix} << 16) | (rng.next() & 0xffffu)};
+}
+
+}  // namespace hifind

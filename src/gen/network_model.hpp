@@ -1,0 +1,79 @@
+// Address-space and service model of the monitored edge network.
+//
+// Mirrors the paper's vantage point: an edge router of a campus network
+// ("several Class B networks", like Northwestern). Internal hosts live in a
+// small set of /16 prefixes; external hosts are everything else. Servers run
+// a handful of popular services with Zipf-ish popularity, which gives the
+// benign traffic the concentrated key distribution that IP mangling exists
+// to flatten.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hifind {
+
+/// A service endpoint inside the edge network.
+struct Service {
+  IPv4 ip{};
+  std::uint16_t port{0};
+  double popularity{1.0};  ///< relative share of benign connections
+  bool alive{true};        ///< dead services never answer (misconfig targets)
+};
+
+struct NetworkModelConfig {
+  /// /16 prefixes forming the edge network, as the top-16-bits value.
+  std::vector<std::uint16_t> internal_prefixes{0x8aa1, 0x8aa2, 0x8aa3};
+  std::size_t num_servers{200};
+  std::size_t num_internal_clients{4000};
+  std::size_t num_external_clients{20000};
+  std::uint64_t seed{17};
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(const NetworkModelConfig& config);
+
+  /// True if the address falls in one of the edge /16 prefixes.
+  bool is_internal(IPv4 ip) const;
+
+  /// The service roster (servers x ports); stable for a given seed.
+  const std::vector<Service>& services() const { return services_; }
+
+  /// Draws a service weighted by popularity. Dead services are never drawn
+  /// here — benign clients use DNS that (mostly) points at live endpoints.
+  const Service& sample_service(Pcg32& rng) const;
+
+  /// Uniform member of the internal client pool.
+  IPv4 sample_internal_client(Pcg32& rng) const;
+
+  /// Uniform member of the external client pool (real, routable hosts).
+  IPv4 sample_external_client(Pcg32& rng) const;
+
+  /// Uniformly random 32-bit address — what a spoofing attacker forges.
+  IPv4 sample_spoofed_source(Pcg32& rng) const {
+    return IPv4{static_cast<std::uint32_t>(rng.next64())};
+  }
+
+  /// Random internal address (any host slot, not only known clients):
+  /// the target space of inbound horizontal scans.
+  IPv4 sample_internal_address(Pcg32& rng) const;
+
+  /// A service marked dead (never answers); misconfiguration target.
+  /// Returns the same endpoint for a given model (stable across intervals,
+  /// like a stale DNS entry).
+  const Service& dead_service() const { return services_[dead_index_]; }
+
+ private:
+  NetworkModelConfig config_;
+  std::vector<Service> services_;
+  std::vector<double> service_cdf_;
+  std::vector<IPv4> internal_clients_;
+  std::vector<IPv4> external_clients_;
+  std::size_t dead_index_{0};
+};
+
+}  // namespace hifind

@@ -1,0 +1,223 @@
+#include "gen/scenario.hpp"
+
+#include "common/hash.hpp"
+
+#include <cmath>
+
+namespace hifind {
+namespace {
+
+/// Scan-magnet destination ports and the worm/tool causes the paper's
+/// Tables 7/8 attribute to them.
+struct ScanCause {
+  std::uint16_t port;
+  const char* label;
+};
+constexpr ScanCause kScanCauses[] = {
+    {1433, "SQLSnake scan"},       {22, "Scan SSH"},
+    {3306, "MySQL Bot scans"},     {6101, "Unknown scan"},
+    {4899, "Rahack worm"},         {135, "Nachi or MSBlast worm"},
+    {445, "Sasser and Korgo worm"}, {139, "NetBIOS scan"},
+    {5554, "Sasser worm"},         {2745, "Bagle backdoor scan"},
+    {1025, "RPC scan"},            {6129, "Dameware scan"},
+};
+
+Timestamp seconds(double s) {
+  return static_cast<Timestamp>(s * kMicrosPerSecond);
+}
+
+/// Uniform draw in [lo, hi).
+double uniform_in(Pcg32& rng, double lo, double hi) {
+  return lo + rng.uniform() * (hi - lo);
+}
+
+/// Log-uniform integer draw in [lo, hi) — used for scan breadths, whose
+/// real-world distribution spans three orders of magnitude (Tables 7/8:
+/// 56275 targets at the top, 62 at the bottom).
+std::size_t log_uniform(Pcg32& rng, double lo, double hi) {
+  return static_cast<std::size_t>(
+      std::exp(uniform_in(rng, std::log(lo), std::log(hi))));
+}
+
+/// A start time leaving two warm-up intervals at the head and `dur` room at
+/// the tail.
+Timestamp place(Pcg32& rng, Timestamp total, Timestamp dur) {
+  const Timestamp lead = seconds(120);
+  if (total <= lead + dur) return lead;
+  return lead + static_cast<Timestamp>(rng.uniform() *
+                                       static_cast<double>(total - lead - dur));
+}
+
+/// Picks a live (answering) service for flood/flash-crowd targets.
+const Service& pick_live_service(const NetworkModel& net, Pcg32& rng) {
+  return net.sample_service(rng);  // sampler never returns dead services
+}
+
+}  // namespace
+
+Scenario build_scenario(const ScenarioConfig& config) {
+  NetworkModelConfig net_config = config.network;
+  net_config.seed = mix64(net_config.seed ^ mix64(config.seed));
+  Scenario scenario(net_config);
+  const NetworkModel& net = scenario.network;
+
+  Pcg32 rng(mix64(config.seed), mix64(config.seed ^ 0x2f4a1c6e8b3d5079ULL));
+  const Timestamp total = seconds(config.duration_seconds);
+
+  // Server-failure windows (benign anomalies for the ratio filter to catch).
+  std::vector<ServerFailureWindow> failures;
+  for (std::size_t i = 0; i < config.num_server_failures; ++i) {
+    const Timestamp dur = seconds(uniform_in(rng, 120, 300));
+    ServerFailureWindow w;
+    // Only live services fail interestingly; index 0..n-2 (last is dead).
+    w.service_index = rng.bounded(
+        static_cast<std::uint32_t>(net.services().size() - 1));
+    w.start = place(rng, total, dur);
+    w.end = w.start + dur;
+    failures.push_back(w);
+  }
+
+  BackgroundConfig bg = config.background;
+  bg.connections_per_second = config.background_cps;
+  bg.seed = mix64(config.seed ^ 0x5ca1ab1e0ddba11ULL);
+  generate_background(bg, net, total, failures, scenario.trace,
+                      scenario.truth);
+
+  // SYN floods.
+  for (std::size_t i = 0; i < config.num_spoofed_floods; ++i) {
+    const Service& victim = pick_live_service(net, rng);
+    SynFloodSpec spec;
+    spec.victim_ip = victim.ip;
+    spec.victim_port = victim.port;
+    spec.duration = seconds(uniform_in(rng, 120, 360));
+    spec.start = place(rng, total, spec.duration);
+    spec.rate_pps = uniform_in(rng, 150, 800);
+    spec.spoofed = true;
+    spec.label = "spoofed SYN flood";
+    inject_syn_flood(spec, net, rng, scenario.trace, scenario.truth);
+  }
+  for (std::size_t i = 0; i < config.num_fixed_floods; ++i) {
+    const Service& victim = pick_live_service(net, rng);
+    SynFloodSpec spec;
+    spec.victim_ip = victim.ip;
+    spec.victim_port = victim.port;
+    spec.duration = seconds(uniform_in(rng, 120, 360));
+    spec.start = place(rng, total, spec.duration);
+    spec.rate_pps = uniform_in(rng, 120, 500);
+    spec.spoofed = false;
+    spec.attacker = net.sample_external_client(rng);
+    spec.label = "non-spoofed SYN flood";
+    inject_syn_flood(spec, net, rng, scenario.trace, scenario.truth);
+  }
+
+  // Horizontal scans: breadth log-uniform across three decades.
+  for (std::size_t i = 0; i < config.num_hscans; ++i) {
+    const ScanCause& cause = kScanCauses[rng.bounded(std::size(kScanCauses))];
+    HscanSpec spec;
+    spec.attacker = net.sample_external_client(rng);
+    spec.dport = cause.port;
+    spec.label = cause.label;
+    spec.num_targets = log_uniform(rng, 80, 60000);
+    spec.duration = seconds(uniform_in(
+        rng, 60, std::min(600.0, config.duration_seconds / 2.0)));
+    spec.start = place(rng, total, spec.duration);
+    spec.open_fraction = uniform_in(rng, 0.0, 0.06);
+    inject_horizontal_scan(spec, net, rng, scenario.trace, scenario.truth);
+  }
+
+  // Vertical scans.
+  for (std::size_t i = 0; i < config.num_vscans; ++i) {
+    VscanSpec spec;
+    spec.attacker = net.sample_external_client(rng);
+    spec.target = net.sample_internal_address(rng);
+    spec.first_port = static_cast<std::uint16_t>(1 + rng.bounded(100));
+    spec.num_ports = log_uniform(rng, 150, 8000);
+    spec.duration = seconds(uniform_in(rng, 60, 300));
+    spec.start = place(rng, total, spec.duration);
+    spec.open_fraction = uniform_in(rng, 0.0, 0.03);
+    spec.label = "port sweep (vertical)";
+    inject_vertical_scan(spec, net, rng, scenario.trace, scenario.truth);
+  }
+
+  // Block scans.
+  for (std::size_t i = 0; i < config.num_block_scans; ++i) {
+    BlockScanSpec spec;
+    spec.attacker = net.sample_external_client(rng);
+    spec.num_targets = 32 + rng.bounded(96);
+    spec.num_ports = 16 + rng.bounded(48);
+    spec.first_port = static_cast<std::uint16_t>(1 + rng.bounded(1000));
+    spec.duration = seconds(uniform_in(rng, 120, 300));
+    spec.start = place(rng, total, spec.duration);
+    spec.label = "block scan";
+    inject_block_scan(spec, net, rng, scenario.trace, scenario.truth);
+  }
+
+  // Flash crowds on the most popular services.
+  for (std::size_t i = 0; i < config.num_flash_crowds; ++i) {
+    const Service& svc = pick_live_service(net, rng);
+    FlashCrowdSpec spec;
+    spec.service_ip = svc.ip;
+    spec.service_port = svc.port;
+    spec.duration = seconds(uniform_in(rng, 120, 300));
+    spec.start = place(rng, total, spec.duration);
+    spec.rate_pps = uniform_in(rng, 150, 400);
+    spec.success_fraction = uniform_in(rng, 0.6, 0.85);
+    inject_flash_crowd(spec, net, rng, scenario.trace, scenario.truth);
+  }
+
+  // Misconfigurations: persistent knocking on the dead service.
+  for (std::size_t i = 0; i < config.num_misconfigs; ++i) {
+    MisconfigSpec spec;
+    spec.dead_ip = net.dead_service().ip;
+    spec.dead_port = net.dead_service().port;
+    spec.num_clients = 20 + rng.bounded(40);
+    spec.duration = seconds(uniform_in(rng, 300, config.duration_seconds / 2.0));
+    spec.start = place(rng, total, spec.duration);
+    spec.rate_pps = uniform_in(rng, 60, 140);
+    inject_misconfiguration(spec, net, rng, scenario.trace, scenario.truth);
+  }
+
+  scenario.trace.sort();
+  return scenario;
+}
+
+ScenarioConfig nu_like_config(std::uint64_t seed,
+                              std::uint32_t duration_seconds) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.duration_seconds = duration_seconds;
+  c.background_cps = 80.0;
+  c.num_spoofed_floods = 4;
+  c.num_fixed_floods = 3;
+  c.num_hscans = 24;
+  c.num_vscans = 6;
+  c.num_block_scans = 1;
+  c.num_flash_crowds = 2;
+  c.num_misconfigs = 2;
+  c.num_server_failures = 2;
+  return c;
+}
+
+ScenarioConfig lbl_like_config(std::uint64_t seed,
+                               std::uint32_t duration_seconds) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.duration_seconds = duration_seconds;
+  c.background_cps = 50.0;
+  // Scan-heavy, flood-free: the trace character that defeats CPM (Table 6).
+  c.num_spoofed_floods = 0;
+  c.num_fixed_floods = 0;
+  c.num_hscans = 20;
+  c.num_vscans = 1;
+  c.num_block_scans = 0;
+  c.num_flash_crowds = 0;
+  c.num_misconfigs = 1;
+  c.num_server_failures = 1;
+  // LBL's network is a single lab prefix.
+  c.network.internal_prefixes = {0x83e5};
+  c.network.num_servers = 80;
+  c.network.num_internal_clients = 1500;
+  return c;
+}
+
+}  // namespace hifind

@@ -1,0 +1,54 @@
+#include "packet/netflow.hpp"
+
+#include "common/hash.hpp"
+
+namespace hifind {
+
+std::size_t FlowAggregator::TupleKeyHash::operator()(const TupleKey& k) const {
+  return static_cast<std::size_t>(mix64(k.hi ^ mix64(k.lo)));
+}
+
+void FlowAggregator::add(const PacketRecord& p) {
+  const TupleKey key{pack_ip_ip(p.sip, p.dip),
+                     (std::uint64_t{p.sport} << 32) |
+                         (std::uint64_t{p.dport} << 16) |
+                         static_cast<std::uint64_t>(p.proto)};
+  auto [it, inserted] = index_.try_emplace(key, flows_.size());
+  if (inserted) {
+    FlowRecord rec;
+    rec.sip = p.sip;
+    rec.dip = p.dip;
+    rec.sport = p.sport;
+    rec.dport = p.dport;
+    rec.proto = p.proto;
+    rec.first_ts = p.ts;
+    flows_.push_back(rec);
+  }
+  FlowRecord& f = flows_[it->second];
+  f.last_ts = p.ts;
+  ++f.packets;
+  f.bytes += p.len;
+  if (p.is_tcp()) f.flags_or |= p.flags;
+}
+
+std::vector<FlowRecord> FlowAggregator::flows() const { return flows_; }
+
+std::size_t FlowAggregator::memory_bytes() const {
+  // Hash-map node overhead approximated as key + index + two pointers.
+  const std::size_t per_entry =
+      sizeof(TupleKey) + sizeof(std::size_t) + 2 * sizeof(void*);
+  return flows_.size() * (sizeof(FlowRecord) + per_entry);
+}
+
+void FlowAggregator::clear() {
+  index_.clear();
+  flows_.clear();
+}
+
+std::vector<FlowRecord> aggregate_flows(const Trace& trace) {
+  FlowAggregator agg;
+  for (const auto& p : trace.packets()) agg.add(p);
+  return agg.flows();
+}
+
+}  // namespace hifind

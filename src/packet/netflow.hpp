@@ -1,0 +1,67 @@
+// Netflow-style flow aggregation.
+//
+// The paper's traces are netflow exports; the exact (non-sketch) baseline and
+// several analyses (e.g. Figure 4's per-{SIP,DIP} unique-port histogram) work
+// on flow records rather than packets. A FlowRecord summarizes all packets of
+// one (sip, dip, sport, dport, proto) 5-tuple within one aggregation window.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/trace.hpp"
+
+namespace hifind {
+
+/// One unidirectional flow record.
+struct FlowRecord {
+  IPv4 sip{};
+  IPv4 dip{};
+  std::uint16_t sport{0};
+  std::uint16_t dport{0};
+  Protocol proto{Protocol::kTcp};
+  Timestamp first_ts{0};
+  Timestamp last_ts{0};
+  std::uint32_t packets{0};
+  std::uint64_t bytes{0};
+  std::uint8_t flags_or{0};  ///< OR of TCP flags across the flow's packets
+};
+
+/// Aggregates a packet span into flow records. Flows never expire within the
+/// span — callers feed one detection interval at a time when they need
+/// interval-scoped flows.
+class FlowAggregator {
+ public:
+  /// Adds one packet to its flow (creating the flow on first sight).
+  void add(const PacketRecord& p);
+
+  /// All flows accumulated so far, in first-seen order.
+  std::vector<FlowRecord> flows() const;
+
+  std::size_t flow_count() const { return flows_.size(); }
+
+  /// Estimated resident memory of the aggregation state in bytes; used by the
+  /// Table 9 memory comparison ("complete info" row).
+  std::size_t memory_bytes() const;
+
+  void clear();
+
+ private:
+  struct TupleKey {
+    std::uint64_t hi;
+    std::uint64_t lo;
+    bool operator==(const TupleKey&) const = default;
+  };
+  struct TupleKeyHash {
+    std::size_t operator()(const TupleKey& k) const;
+  };
+
+  std::unordered_map<TupleKey, std::size_t, TupleKeyHash> index_;
+  std::vector<FlowRecord> flows_;
+};
+
+/// Convenience: aggregate an entire trace in one call.
+std::vector<FlowRecord> aggregate_flows(const Trace& trace);
+
+}  // namespace hifind

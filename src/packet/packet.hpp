@@ -1,0 +1,89 @@
+// Packet-level traffic model.
+//
+// HiFIND consumes the TCP/IP header fields only — it never inspects payloads
+// (paper Sec. 3.3 restricts detection to TCP header combinations). A
+// PacketRecord is therefore a 24-byte POD carrying exactly what the detectors
+// and generators need; a day of 239M records (the paper's NU trace) fits the
+// same representation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/interval.hpp"
+#include "common/types.hpp"
+
+namespace hifind {
+
+/// TCP control-flag bits, matching the on-the-wire bit positions.
+enum TcpFlags : std::uint8_t {
+  kFin = 0x01,
+  kSyn = 0x02,
+  kRst = 0x04,
+  kPsh = 0x08,
+  kAck = 0x10,
+};
+
+/// Transport protocol of a record. Non-TCP traffic flows through the
+/// recorders untouched (HiFIND's threat model is TCP-only, paper Sec. 3.2),
+/// but generators emit some UDP background to keep filters honest.
+enum class Protocol : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+/// One observed packet. `outbound` is true for packets leaving the monitored
+/// edge network (e.g. a server's SYN/ACK response); the SYN−SYN/ACK metric
+/// needs both directions.
+struct PacketRecord {
+  Timestamp ts{0};          ///< microseconds since trace start
+  IPv4 sip{};               ///< source address
+  IPv4 dip{};               ///< destination address
+  std::uint16_t sport{0};   ///< source port
+  std::uint16_t dport{0};   ///< destination port
+  std::uint16_t len{40};    ///< total packet length in bytes
+  std::uint8_t flags{0};    ///< TcpFlags bitmask (TCP only)
+  Protocol proto{Protocol::kTcp};
+  bool outbound{false};
+
+  constexpr bool is_tcp() const { return proto == Protocol::kTcp; }
+  /// Pure SYN: connection-open attempt (SYN set, ACK clear).
+  constexpr bool is_syn() const {
+    return is_tcp() && (flags & kSyn) != 0 && (flags & kAck) == 0;
+  }
+  /// SYN/ACK: the passive side accepting a connection.
+  constexpr bool is_synack() const {
+    return is_tcp() && (flags & kSyn) != 0 && (flags & kAck) != 0;
+  }
+  constexpr bool is_fin() const { return is_tcp() && (flags & kFin) != 0; }
+  constexpr bool is_rst() const { return is_tcp() && (flags & kRst) != 0; }
+};
+
+/// Extracts the packed sketch key of the requested kind from a packet.
+///
+/// Direction note: detection keys are defined over *connection initiator*
+/// fields. For an outbound SYN/ACK from server S:port P to client C, the
+/// connection's {DIP, Dport} is {S, P} — i.e. the SYN/ACK's *source* fields —
+/// and its SIP is C, the SYN/ACK's destination. This function performs that
+/// reflection so callers can feed packets of both directions uniformly.
+constexpr std::uint64_t extract_key(KeyKind kind, const PacketRecord& p) {
+  const IPv4 initiator = p.is_synack() ? p.dip : p.sip;
+  const IPv4 responder = p.is_synack() ? p.sip : p.dip;
+  const std::uint16_t service = p.is_synack() ? p.sport : p.dport;
+  switch (kind) {
+    case KeyKind::SipDport:
+      return pack_ip_port(initiator, service);
+    case KeyKind::DipDport:
+      return pack_ip_port(responder, service);
+    case KeyKind::SipDip:
+      return pack_ip_ip(initiator, responder);
+  }
+  return 0;
+}
+
+/// The per-packet update value for the #SYN − #SYN/ACK metric: +1 for a SYN,
+/// −1 for a SYN/ACK, 0 otherwise. The sum over an interval of these values,
+/// aggregated by key, is the signal all three detection steps threshold.
+constexpr std::int64_t syn_delta(const PacketRecord& p) {
+  if (p.is_syn()) return +1;
+  if (p.is_synack()) return -1;
+  return 0;
+}
+
+}  // namespace hifind

@@ -1,0 +1,35 @@
+#include "packet/trace.hpp"
+
+#include <algorithm>
+
+namespace hifind {
+
+void Trace::append(const Trace& other) {
+  packets_.insert(packets_.end(), other.packets_.begin(),
+                  other.packets_.end());
+}
+
+void Trace::sort() {
+  std::stable_sort(
+      packets_.begin(), packets_.end(),
+      [](const PacketRecord& a, const PacketRecord& b) { return a.ts < b.ts; });
+}
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.packets = packets_.size();
+  if (!packets_.empty()) {
+    s.first_ts = packets_.front().ts;
+    s.last_ts = packets_.back().ts;
+  }
+  for (const auto& p : packets_) {
+    s.total_bytes += p.len;
+    if (p.is_tcp()) ++s.tcp_packets;
+    if (p.is_syn()) ++s.syn_packets;
+    if (p.is_synack()) ++s.synack_packets;
+    if (p.outbound) ++s.outbound_packets;
+  }
+  return s;
+}
+
+}  // namespace hifind

@@ -1,0 +1,44 @@
+#include "router/distributed.hpp"
+
+#include <stdexcept>
+
+namespace hifind {
+
+DistributedMonitor::DistributedMonitor(
+    std::size_t num_routers, const SketchBankConfig& bank_config,
+    const HifindDetectorConfig& detector_config, std::uint64_t splitter_seed)
+    : detector_(detector_config), splitter_(num_routers, splitter_seed) {
+  if (num_routers == 0) {
+    throw std::invalid_argument("DistributedMonitor needs >=1 router");
+  }
+  banks_.reserve(num_routers);
+  for (std::size_t i = 0; i < num_routers; ++i) {
+    banks_.emplace_back(bank_config);  // same config => combinable
+  }
+}
+
+void DistributedMonitor::feed(const PacketRecord& p) {
+  banks_[splitter_.route(p)].record(p);
+}
+
+void DistributedMonitor::feed_at(std::size_t router, const PacketRecord& p) {
+  banks_.at(router).record(p);
+}
+
+IntervalResult DistributedMonitor::end_interval(std::uint64_t interval) {
+  std::vector<std::pair<double, const SketchBank*>> terms;
+  terms.reserve(banks_.size());
+  for (const SketchBank& b : banks_) terms.emplace_back(1.0, &b);
+  const SketchBank combined = SketchBank::combine(terms);
+  IntervalResult result = detector_.process(combined, interval);
+  for (SketchBank& b : banks_) b.clear();
+  return result;
+}
+
+std::size_t DistributedMonitor::bytes_shipped_per_interval() const {
+  std::size_t total = 0;
+  for (const SketchBank& b : banks_) total += b.memory_bytes_hw();
+  return total;
+}
+
+}  // namespace hifind

@@ -1,0 +1,36 @@
+// Per-packet load-balancing splitter (paper Sec. 5.3.2's experiment setup).
+//
+// Models the asymmetric/multi-path routing of Figure 3: each packet —
+// independently, including the SYN and SYN/ACK of one connection — takes a
+// uniformly random edge router. With R routers, the two directions of a
+// connection traverse different monitors with probability (R-1)/R, which is
+// exactly the condition that breaks per-connection-state IDSes and that
+// sketch COMBINE is immune to.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "packet/packet.hpp"
+
+namespace hifind {
+
+class PacketSplitter {
+ public:
+  PacketSplitter(std::size_t num_routers, std::uint64_t seed)
+      : num_routers_(num_routers),
+        rng_(mix64(seed), mix64(seed ^ 0x13579bdf2468aceULL)) {}
+
+  /// Router index for the next packet (uniform, per packet).
+  std::size_t route(const PacketRecord& /*p*/) {
+    return rng_.bounded(static_cast<std::uint32_t>(num_routers_));
+  }
+
+  std::size_t num_routers() const { return num_routers_; }
+
+ private:
+  std::size_t num_routers_;
+  Pcg32 rng_;
+};
+
+}  // namespace hifind

@@ -1,0 +1,111 @@
+#include "sketch/kary_sketch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hifind {
+namespace {
+
+/// Median of a small scratch vector (destructive).
+double median_of(std::vector<double>& v) {
+  const std::size_t n = v.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  if (n % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+KarySketch::KarySketch(const KarySketchConfig& config) : config_(config) {
+  if (config_.num_stages == 0 || config_.num_buckets < 2) {
+    throw std::invalid_argument("KarySketch needs >=1 stage and >=2 buckets");
+  }
+  hashes_.reserve(config_.num_stages);
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    hashes_.emplace_back(mix64(config_.seed) ^ mix64(h + 0x9e37u));
+  }
+  counters_.assign(config_.num_stages * config_.num_buckets, 0.0);
+  stage_sums_.assign(config_.num_stages, 0.0);
+}
+
+void KarySketch::update(std::uint64_t key, double delta) {
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    counters_[bucket_index(h, key)] += delta;
+    stage_sums_[h] += delta;
+  }
+  ++update_count_;
+}
+
+double KarySketch::estimate(std::uint64_t key) const {
+  const double k = static_cast<double>(config_.num_buckets);
+  std::vector<double> est(config_.num_stages);
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    const double bucket = counters_[bucket_index(h, key)];
+    const double sum = stage_sum(h);
+    est[h] = (bucket - sum / k) / (1.0 - 1.0 / k);
+  }
+  return median_of(est);
+}
+
+std::vector<double> KarySketch::stage_values(std::uint64_t key) const {
+  std::vector<double> v(config_.num_stages);
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    v[h] = counters_[bucket_index(h, key)];
+  }
+  return v;
+}
+
+void KarySketch::accumulate(const KarySketch& other, double coeff) {
+  if (!combinable_with(other)) {
+    throw std::invalid_argument(
+        "KarySketch::accumulate: sketches have different shape or seed");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += coeff * other.counters_[i];
+  }
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    stage_sums_[h] += coeff * other.stage_sums_[h];
+  }
+}
+
+void KarySketch::scale(double coeff) {
+  for (auto& c : counters_) c *= coeff;
+  for (auto& s : stage_sums_) s *= coeff;
+}
+
+void KarySketch::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0.0);
+  std::fill(stage_sums_.begin(), stage_sums_.end(), 0.0);
+  update_count_ = 0;
+}
+
+void KarySketch::load_counters(std::span<const double> counters) {
+  if (counters.size() != counters_.size()) {
+    throw std::invalid_argument("KarySketch::load_counters: size mismatch");
+  }
+  std::copy(counters.begin(), counters.end(), counters_.begin());
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < config_.num_buckets; ++b) {
+      sum += counters_[h * config_.num_buckets + b];
+    }
+    stage_sums_[h] = sum;
+  }
+}
+
+KarySketch KarySketch::combine(
+    std::span<const std::pair<double, const KarySketch*>> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("KarySketch::combine: no terms");
+  }
+  KarySketch out(terms.front().second->config());
+  for (const auto& [coeff, sketch] : terms) {
+    out.accumulate(*sketch, coeff);
+  }
+  return out;
+}
+
+}  // namespace hifind

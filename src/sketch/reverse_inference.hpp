@@ -1,0 +1,86 @@
+// Reverse inference for reversible sketches: INFERENCE(S, t).
+//
+// Given a (typically forecast-error) reversible sketch and a threshold t,
+// recover the set of keys whose estimated value exceeds t — without iterating
+// the key space. This implements the bucket-intersection search of Schweller
+// et al. (INFOCOM 2006):
+//
+//  1. Per stage, collect the "heavy buckets" whose mean-corrected estimate
+//     exceeds t. A culprit key must land in a heavy bucket in (almost) every
+//     stage; `stage_slack` (the paper's r) tolerates stages where a culprit's
+//     bucket was pulled below threshold by colliding negative mass.
+//  2. Depth-first search over the q key-word positions. Because of modular
+//     hashing, a heavy bucket constrains each word independently: at word w,
+//     the viable byte values are the word-hash preimages of the sub-indices
+//     that the still-consistent heavy buckets expose at position w. The DFS
+//     state is, per stage, the subset of heavy buckets consistent with the
+//     chosen prefix; a branch dies when fewer than H - r stages remain alive.
+//  3. At a leaf, the surviving word choices form a mangled key; it is
+//     unmangled and reported with its sketch estimate.
+//
+// Output is a small SUPERSET of the true heavy keys: with stage_slack = r,
+// keys whose mangled form differs from a heavy key in one word but collides
+// in >= H - r stages ("near collisions", O(q * 256 * C(H,r) / 4^(H-r)) of
+// them per heavy key) are also emitted. Screen the output against an
+// independent verification sketch (see VerificationSketch) — its full-key
+// hash family is uncorrelated with the modular word hashes, so near
+// collisions carry no mass there and are removed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sketch/reversible_sketch.hpp"
+
+namespace hifind {
+
+/// One recovered heavy key.
+struct HeavyKey {
+  std::uint64_t key{0};   ///< original (unmangled) key
+  double estimate{0.0};   ///< sketch estimate of its value
+
+  bool operator==(const HeavyKey&) const = default;
+};
+
+/// Tuning knobs for inference.
+struct InferenceOptions {
+  /// r: number of stages allowed to miss the heavy-bucket set. 0 = strict
+  /// intersection. Paper guidance: 1 for H = 6.
+  std::size_t stage_slack{1};
+  /// Hard cap on emitted candidates; guards against adversarially dense
+  /// heavy-bucket sets blowing up the search. Truncation is reported.
+  std::size_t max_candidates{100000};
+  /// Optional screen applied to each candidate at the leaves, BEFORE it
+  /// counts toward max_candidates. Pass the paired verification sketch's
+  /// test here (key, sketch_estimate) -> keep? — with many concurrent
+  /// anomalies the raw candidate set contains cross-product artifacts, and
+  /// verifying inside the search keeps the output (and the cap) meaningful.
+  std::function<bool(std::uint64_t key, double estimate)> verifier;
+  /// Cap on heavy buckets considered per stage, keeping the LARGEST ones —
+  /// the paper's "detect the top N anomalies" stress-test mode (Sec. 5.5.3).
+  /// Bounds the search tree when an interval carries hundreds of anomalies.
+  /// 0 = unlimited.
+  std::size_t max_heavy_per_stage{0};
+};
+
+/// Result of an inference run.
+struct InferenceResult {
+  std::vector<HeavyKey> keys;
+  bool truncated{false};              ///< hit max_candidates
+  std::size_t heavy_bucket_total{0};  ///< sum of per-stage heavy-bucket counts
+};
+
+/// Returns all keys whose sketch estimate exceeds `threshold`.
+/// The candidate set is exact up to hash-collision false positives/negatives;
+/// every emitted key's reported estimate is re-read from the sketch.
+InferenceResult infer_heavy_keys(const ReversibleSketch& sketch,
+                                 double threshold,
+                                 const InferenceOptions& options = {});
+
+/// Per-stage heavy-bucket indices (exposed for tests and diagnostics):
+/// buckets whose mean-corrected estimate exceeds `threshold`.
+std::vector<std::vector<std::uint32_t>> heavy_buckets(
+    const ReversibleSketch& sketch, double threshold);
+
+}  // namespace hifind

@@ -1,0 +1,140 @@
+#include "sketch/reversible_sketch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hifind {
+namespace {
+
+double median_of(std::vector<double>& v) {
+  const std::size_t n = v.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  if (n % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+ReversibleSketch::ReversibleSketch(const ReversibleSketchConfig& config)
+    : config_(config), mangler_(mix64(config.seed) ^ 0xb5f1c6a3d2e49807ULL,
+                                config.key_bits) {
+  if (config_.key_bits < 8 || config_.key_bits > 64 ||
+      config_.key_bits % 8 != 0) {
+    throw std::invalid_argument(
+        "ReversibleSketch key_bits must be a multiple of 8 in [8,64]");
+  }
+  if (config_.num_stages == 0) {
+    throw std::invalid_argument("ReversibleSketch needs >=1 stage");
+  }
+  if (config_.bucket_bits < 1 || config_.bucket_bits > 28 ||
+      config_.bucket_bits % config_.num_words() != 0) {
+    throw std::invalid_argument(
+        "ReversibleSketch bucket_bits must divide evenly across key words");
+  }
+  const int q = config_.num_words();
+  const int nb = config_.bits_per_word();
+  word_hashes_.reserve(config_.num_stages * static_cast<std::size_t>(q));
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    for (int w = 0; w < q; ++w) {
+      word_hashes_.emplace_back(
+          mix64(config_.seed) ^ mix64((h << 8) | static_cast<unsigned>(w)),
+          nb);
+    }
+  }
+  counters_.assign(config_.num_stages * config_.num_buckets(), 0.0);
+  stage_sums_.assign(config_.num_stages, 0.0);
+}
+
+std::size_t ReversibleSketch::index_of_mangled(std::size_t stage,
+                                               std::uint64_t mangled) const {
+  const int q = config_.num_words();
+  const int nb = config_.bits_per_word();
+  std::size_t index = 0;
+  // Word 0 is the most-significant key byte and occupies the most-significant
+  // sub-index bits; the layout choice is arbitrary but must match inference.
+  for (int w = 0; w < q; ++w) {
+    const auto word = static_cast<std::uint8_t>(
+        (mangled >> (8 * (q - 1 - w))) & 0xff);
+    index = (index << nb) | word_hash(stage, w).map(word);
+  }
+  return index;
+}
+
+void ReversibleSketch::update(std::uint64_t key, double delta) {
+  const std::uint64_t mangled = mangler_.mangle(key);
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    counters_[h * config_.num_buckets() + index_of_mangled(h, mangled)] +=
+        delta;
+    stage_sums_[h] += delta;
+  }
+  ++update_count_;
+}
+
+double ReversibleSketch::estimate(std::uint64_t key) const {
+  const std::uint64_t mangled = mangler_.mangle(key);
+  const double k = static_cast<double>(config_.num_buckets());
+  std::vector<double> est(config_.num_stages);
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    const double bucket =
+        counters_[h * config_.num_buckets() + index_of_mangled(h, mangled)];
+    est[h] = (bucket - stage_sums_[h] / k) / (1.0 - 1.0 / k);
+  }
+  return median_of(est);
+}
+
+void ReversibleSketch::accumulate(const ReversibleSketch& other,
+                                  double coeff) {
+  if (!combinable_with(other)) {
+    throw std::invalid_argument(
+        "ReversibleSketch::accumulate: sketches have different shape or seed");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += coeff * other.counters_[i];
+  }
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    stage_sums_[h] += coeff * other.stage_sums_[h];
+  }
+}
+
+void ReversibleSketch::scale(double coeff) {
+  for (auto& c : counters_) c *= coeff;
+  for (auto& s : stage_sums_) s *= coeff;
+}
+
+void ReversibleSketch::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0.0);
+  std::fill(stage_sums_.begin(), stage_sums_.end(), 0.0);
+  update_count_ = 0;
+}
+
+void ReversibleSketch::load_counters(std::span<const double> counters) {
+  if (counters.size() != counters_.size()) {
+    throw std::invalid_argument(
+        "ReversibleSketch::load_counters: size mismatch");
+  }
+  std::copy(counters.begin(), counters.end(), counters_.begin());
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < config_.num_buckets(); ++b) {
+      sum += counters_[h * config_.num_buckets() + b];
+    }
+    stage_sums_[h] = sum;
+  }
+}
+
+ReversibleSketch ReversibleSketch::combine(
+    std::span<const std::pair<double, const ReversibleSketch*>> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("ReversibleSketch::combine: no terms");
+  }
+  ReversibleSketch out(terms.front().second->config());
+  for (const auto& [coeff, sketch] : terms) {
+    out.accumulate(*sketch, coeff);
+  }
+  return out;
+}
+
+}  // namespace hifind

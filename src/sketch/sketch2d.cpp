@@ -1,0 +1,131 @@
+#include "sketch/sketch2d.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace hifind {
+
+TwoDSketch::TwoDSketch(const Sketch2dConfig& config) : config_(config) {
+  if (config_.num_stages == 0 || config_.x_buckets < 2 ||
+      config_.y_buckets < 2) {
+    throw std::invalid_argument(
+        "TwoDSketch needs >=1 stage and >=2 buckets per dimension");
+  }
+  x_hashes_.reserve(config_.num_stages);
+  y_hashes_.reserve(config_.num_stages);
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    x_hashes_.emplace_back(mix64(config_.seed) ^ mix64(0x1000 + h));
+    y_hashes_.emplace_back(mix64(config_.seed) ^ mix64(0x2000 + h));
+  }
+  cells_.assign(config_.num_stages * config_.x_buckets * config_.y_buckets,
+                0.0);
+}
+
+void TwoDSketch::update(std::uint64_t x_key, std::uint64_t y_key,
+                        double delta) {
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    cells_[cell_index(h, x_key, y_key)] += delta;
+  }
+  ++update_count_;
+}
+
+std::vector<double> TwoDSketch::column(std::size_t stage,
+                                       std::uint64_t x_key) const {
+  const std::size_t col = x_hashes_[stage].bucket(x_key, config_.x_buckets);
+  const std::size_t base =
+      (stage * config_.x_buckets + col) * config_.y_buckets;
+  return {cells_.begin() + static_cast<std::ptrdiff_t>(base),
+          cells_.begin() + static_cast<std::ptrdiff_t>(base +
+                                                       config_.y_buckets)};
+}
+
+ColumnShape TwoDSketch::classify_column(std::size_t stage,
+                                        std::uint64_t x_key,
+                                        std::size_t top_p, double phi) const {
+  std::vector<double> cells = column(stage, x_key);
+  // Negative cells (more SYN/ACKs than SYNs from colliding benign flows)
+  // carry no attack mass; clamp so they cannot inflate the "spread" verdict.
+  double total = 0.0;
+  for (auto& c : cells) {
+    c = std::max(c, 0.0);
+    total += c;
+  }
+  if (total <= 0.0) return ColumnShape::kSpread;
+  top_p = std::min(top_p, cells.size());
+  std::partial_sort(cells.begin(),
+                    cells.begin() + static_cast<std::ptrdiff_t>(top_p),
+                    cells.end(), std::greater<>());
+  const double top_sum = std::accumulate(
+      cells.begin(), cells.begin() + static_cast<std::ptrdiff_t>(top_p), 0.0);
+  return top_sum > phi * total ? ColumnShape::kConcentrated
+                               : ColumnShape::kSpread;
+}
+
+ColumnShape TwoDSketch::classify(std::uint64_t x_key, std::size_t top_p,
+                                 double phi) const {
+  std::size_t concentrated = 0;
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    if (classify_column(h, x_key, top_p, phi) == ColumnShape::kConcentrated) {
+      ++concentrated;
+    }
+  }
+  return concentrated * 2 > config_.num_stages ? ColumnShape::kConcentrated
+                                               : ColumnShape::kSpread;
+}
+
+std::size_t TwoDSketch::active_rows(std::uint64_t x_key,
+                                    double min_cell) const {
+  // Median across stages of the per-stage active-cell count; the median
+  // suppresses collision inflation from any single matrix.
+  std::vector<std::size_t> counts(config_.num_stages);
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    const auto cells = column(h, x_key);
+    counts[h] = static_cast<std::size_t>(
+        std::count_if(cells.begin(), cells.end(),
+                      [min_cell](double c) { return c >= min_cell; }));
+  }
+  std::nth_element(counts.begin(), counts.begin() + counts.size() / 2,
+                   counts.end());
+  return counts[counts.size() / 2];
+}
+
+void TwoDSketch::accumulate(const TwoDSketch& other, double coeff) {
+  if (!combinable_with(other)) {
+    throw std::invalid_argument(
+        "TwoDSketch::accumulate: sketches have different shape or seed");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] += coeff * other.cells_[i];
+  }
+}
+
+void TwoDSketch::scale(double coeff) {
+  for (auto& c : cells_) c *= coeff;
+}
+
+void TwoDSketch::clear() {
+  std::fill(cells_.begin(), cells_.end(), 0.0);
+  update_count_ = 0;
+}
+
+void TwoDSketch::load_cells(std::span<const double> cells) {
+  if (cells.size() != cells_.size()) {
+    throw std::invalid_argument("TwoDSketch::load_cells: size mismatch");
+  }
+  std::copy(cells.begin(), cells.end(), cells_.begin());
+}
+
+TwoDSketch TwoDSketch::combine(
+    std::span<const std::pair<double, const TwoDSketch*>> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("TwoDSketch::combine: no terms");
+  }
+  TwoDSketch out(terms.front().second->config());
+  for (const auto& [coeff, sketch] : terms) {
+    out.accumulate(*sketch, coeff);
+  }
+  return out;
+}
+
+}  // namespace hifind

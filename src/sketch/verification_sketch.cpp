@@ -1,0 +1,20 @@
+#include "sketch/verification_sketch.hpp"
+
+#include <algorithm>
+
+namespace hifind {
+
+std::vector<HeavyKey> VerificationSketch::filter(
+    const std::vector<HeavyKey>& candidates, double threshold) const {
+  std::vector<HeavyKey> kept;
+  kept.reserve(candidates.size());
+  for (const HeavyKey& c : candidates) {
+    const double v = sketch_.estimate(c.key);
+    if (v >= threshold) {
+      kept.push_back(HeavyKey{c.key, std::min(c.estimate, v)});
+    }
+  }
+  return kept;
+}
+
+}  // namespace hifind

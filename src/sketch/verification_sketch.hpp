@@ -1,0 +1,40 @@
+// Verification sketch: screens reverse-inference output.
+//
+// Reverse inference can emit false keys when unrelated heavy buckets
+// intersect consistently across stages. The reversible-sketch papers pair
+// each RS with an independent ordinary k-ary sketch over the *full* key
+// (hashes unrelated to the modular word hashes); a candidate key survives
+// only if this second sketch also estimates it above threshold. Paper config:
+// 2^14 buckets per stage for every verification sketch.
+#pragma once
+
+#include <vector>
+
+#include "sketch/kary_sketch.hpp"
+#include "sketch/reverse_inference.hpp"
+
+namespace hifind {
+
+class VerificationSketch {
+ public:
+  explicit VerificationSketch(const KarySketchConfig& config)
+      : sketch_(config) {}
+
+  /// Records the same stream the paired reversible sketch records.
+  void update(std::uint64_t key, double delta) { sketch_.update(key, delta); }
+
+  /// Keeps only candidates whose verification estimate also clears
+  /// `threshold`; re-reports each key with the *minimum* of the two
+  /// estimates (a conservative value for downstream ranking).
+  std::vector<HeavyKey> filter(const std::vector<HeavyKey>& candidates,
+                               double threshold) const;
+
+  /// Underlying sketch, e.g. for COMBINE across routers.
+  KarySketch& sketch() { return sketch_; }
+  const KarySketch& sketch() const { return sketch_; }
+
+ private:
+  KarySketch sketch_;
+};
+
+}  // namespace hifind

@@ -1,0 +1,70 @@
+#include "baseline/backscatter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hifind {
+namespace {
+
+TEST(BackscatterTest, SpoofedUniformSourcesPass) {
+  BackscatterValidator v;
+  Pcg32 rng(3);
+  for (int i = 0; i < 2000; ++i) v.add_source(IPv4{rng.next()});
+  const BackscatterVerdict verdict = v.verdict();
+  EXPECT_TRUE(verdict.spoofed_uniform);
+  EXPECT_GT(verdict.distinct_octets, 200u);
+  EXPECT_LT(verdict.top_octet_share, 0.05);
+}
+
+TEST(BackscatterTest, SingleRealSourceFails) {
+  BackscatterValidator v;
+  for (int i = 0; i < 2000; ++i) v.add_source(IPv4(66, 1, 2, 3));
+  EXPECT_FALSE(v.verdict().spoofed_uniform);
+  EXPECT_EQ(v.verdict().distinct_octets, 1u);
+}
+
+TEST(BackscatterTest, ClusteredClientPopulationFails) {
+  // Flash crowd: real clients concentrated in a handful of ISP /8s.
+  BackscatterValidator v;
+  Pcg32 rng(5);
+  const std::uint8_t octets[] = {24, 66, 98, 130};
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint8_t o = octets[rng.bounded(4)];
+    v.add_source(IPv4{(std::uint32_t{o} << 24) | (rng.next() & 0xffffffu)});
+  }
+  const auto verdict = v.verdict();
+  EXPECT_FALSE(verdict.spoofed_uniform);
+  EXPECT_GT(verdict.top_octet_share, 0.15);
+}
+
+TEST(BackscatterTest, TooFewSamplesNeverPass) {
+  BackscatterValidator v{BackscatterConfig{.min_samples = 50}};
+  Pcg32 rng(7);
+  for (int i = 0; i < 49; ++i) v.add_source(IPv4{rng.next()});
+  EXPECT_FALSE(v.verdict().spoofed_uniform);
+}
+
+TEST(BackscatterTest, ChiSquareSmallForUniformLargeForSkewed) {
+  BackscatterValidator uniform, skewed;
+  Pcg32 rng(9);
+  for (int i = 0; i < 25600; ++i) {
+    uniform.add_source(IPv4{rng.next()});
+    skewed.add_source(IPv4(10, 0, 0, 1));
+  }
+  // Uniform: chi-square ~ 255 (dof); skewed: ~ N*255.
+  EXPECT_LT(uniform.verdict().chi_square, 400.0);
+  EXPECT_GT(skewed.verdict().chi_square, 100000.0);
+}
+
+TEST(BackscatterTest, ResetClearsState) {
+  BackscatterValidator v;
+  Pcg32 rng(1);
+  for (int i = 0; i < 500; ++i) v.add_source(IPv4{rng.next()});
+  v.reset();
+  EXPECT_EQ(v.verdict().samples, 0u);
+  EXPECT_FALSE(v.verdict().spoofed_uniform);
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,80 @@
+#include "baseline/cpm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+PacketRecord flagged(std::uint8_t flags) {
+  PacketRecord p;
+  p.sip = IPv4(1, 1, 1, 1);
+  p.dip = IPv4(2, 2, 2, 2);
+  p.dport = 80;
+  p.flags = flags;
+  return p;
+}
+
+/// Feeds an interval with `syns` SYNs and `fins` FINs.
+bool run_interval(Cpm& cpm, int syns, int fins) {
+  for (int i = 0; i < syns; ++i) cpm.observe(flagged(kSyn));
+  for (int i = 0; i < fins; ++i) cpm.observe(flagged(kFin | kAck));
+  return cpm.end_interval();
+}
+
+TEST(CpmTest, BalancedTrafficStaysQuiet) {
+  Cpm cpm{CpmConfig{}};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(run_interval(cpm, 1000, 980)) << "interval " << i;
+  }
+}
+
+TEST(CpmTest, FloodRaisesAlarmWithinFewIntervals) {
+  Cpm cpm{CpmConfig{}};
+  for (int i = 0; i < 5; ++i) run_interval(cpm, 1000, 990);  // baseline
+  bool alarmed = false;
+  for (int i = 0; i < 5; ++i) {
+    alarmed |= run_interval(cpm, 6000, 990);  // orphan SYN surge
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(CpmTest, AlarmClearsAfterFloodEnds) {
+  Cpm cpm{CpmConfig{}};
+  for (int i = 0; i < 5; ++i) run_interval(cpm, 1000, 990);
+  for (int i = 0; i < 5; ++i) run_interval(cpm, 6000, 990);
+  bool still_alarmed = true;
+  for (int i = 0; i < 30; ++i) {
+    still_alarmed = run_interval(cpm, 1000, 990);
+  }
+  EXPECT_FALSE(still_alarmed);
+}
+
+// The weakness Table 6 exposes: port scans also produce orphan SYNs, so a
+// scan-heavy, flood-free trace still alarms CPM.
+TEST(CpmTest, PortScansLookLikeFloodsToCpm) {
+  Cpm cpm{CpmConfig{}};
+  for (int i = 0; i < 5; ++i) run_interval(cpm, 1000, 990);
+  bool alarmed = false;
+  // A scanner adds 4000 SYNs/interval, none completing (no FINs).
+  for (int i = 0; i < 5; ++i) {
+    alarmed |= run_interval(cpm, 5000, 990);
+  }
+  EXPECT_TRUE(alarmed) << "CPM cannot tell scans from floods (paper Table 6)";
+}
+
+TEST(CpmTest, MemoryIsConstant) {
+  Cpm cpm{CpmConfig{}};
+  const std::size_t before = cpm.memory_bytes();
+  run_interval(cpm, 100000, 100);
+  EXPECT_EQ(cpm.memory_bytes(), before);
+}
+
+TEST(CpmTest, AlarmHistoryTracksIntervals) {
+  Cpm cpm{CpmConfig{}};
+  run_interval(cpm, 100, 100);
+  run_interval(cpm, 100, 100);
+  EXPECT_EQ(cpm.alarm_history().size(), 2u);
+}
+
+}  // namespace
+}  // namespace hifind

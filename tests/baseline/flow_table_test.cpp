@@ -1,0 +1,138 @@
+#include "baseline/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hifind {
+namespace {
+
+HifindDetectorConfig cfg() {
+  HifindDetectorConfig c;
+  c.interval_seconds = 60;
+  c.syn_rate_threshold = 1.0;
+  c.min_persist_intervals = 1;
+  return c;
+}
+
+PacketRecord syn(Timestamp ts, IPv4 sip, IPv4 dip, std::uint16_t dport,
+                 std::uint16_t sport = 40000) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = sip;
+  p.dip = dip;
+  p.sport = sport;
+  p.dport = dport;
+  p.flags = kSyn;
+  return p;
+}
+
+PacketRecord synack(Timestamp ts, IPv4 server, std::uint16_t service,
+                    IPv4 client, std::uint16_t sport = 40000) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = server;
+  p.dip = client;
+  p.sport = service;
+  p.dport = sport;
+  p.flags = kSyn | kAck;
+  p.outbound = true;
+  return p;
+}
+
+void feed_baseline(FlowTableDetector& d) {
+  for (int i = 0; i < 30; ++i) {
+    const auto sport = static_cast<std::uint16_t>(30000 + i);
+    d.observe(syn(i, IPv4(100, 1, 1, 1), IPv4(129, 105, 1, 1), 443, sport));
+    d.observe(synack(i, IPv4(129, 105, 1, 1), 443, IPv4(100, 1, 1, 1),
+                     sport));
+  }
+}
+
+TEST(FlowTableDetectorTest, WarmupIntervalSilent) {
+  FlowTableDetector d(cfg());
+  feed_baseline(d);
+  const IntervalResult r = d.end_interval(0);
+  EXPECT_TRUE(r.final.empty());
+}
+
+TEST(FlowTableDetectorTest, DetectsFloodExactly) {
+  FlowTableDetector d(cfg());
+  feed_baseline(d);
+  d.end_interval(0);
+  feed_baseline(d);
+  Pcg32 rng(3);
+  for (int i = 0; i < 300; ++i) {
+    d.observe(syn(i, IPv4{rng.next()}, IPv4(129, 105, 1, 1), 443,
+                  static_cast<std::uint16_t>(1024 + i)));
+  }
+  const IntervalResult r = d.end_interval(1);
+  ASSERT_GE(IntervalResult::count(r.final, AttackType::kSynFlooding), 1u);
+  const Alert& a = r.final.front();
+  EXPECT_EQ(a.dip(), IPv4(129, 105, 1, 1));
+  EXPECT_EQ(a.dport(), 443);
+  EXPECT_NEAR(a.magnitude, 300.0, 5.0) << "exact tables: exact magnitudes";
+}
+
+TEST(FlowTableDetectorTest, DetectsScansWithCorrectTypes) {
+  FlowTableDetector d(cfg());
+  feed_baseline(d);
+  d.end_interval(0);
+  feed_baseline(d);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    d.observe(syn(i, IPv4(6, 6, 6, 6), IPv4{0x81690000u + i}, 1433));
+  }
+  for (int port = 1; port <= 200; ++port) {
+    d.observe(syn(port, IPv4(7, 7, 7, 7), IPv4(129, 105, 50, 50),
+                  static_cast<std::uint16_t>(port)));
+  }
+  const IntervalResult r = d.end_interval(1);
+  EXPECT_EQ(IntervalResult::count(r.final, AttackType::kHorizontalScan), 1u);
+  EXPECT_EQ(IntervalResult::count(r.final, AttackType::kVerticalScan), 1u);
+  EXPECT_EQ(IntervalResult::count(r.final, AttackType::kSynFlooding), 0u);
+}
+
+TEST(FlowTableDetectorTest, Phase3DropsDeadServiceFlood) {
+  FlowTableDetector d(cfg());
+  feed_baseline(d);
+  d.end_interval(0);
+  feed_baseline(d);
+  Pcg32 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    d.observe(syn(i, IPv4{rng.next()}, IPv4(129, 105, 200, 200), 8080));
+  }
+  const IntervalResult r = d.end_interval(1);
+  EXPECT_GE(IntervalResult::count(r.after_2d, AttackType::kSynFlooding), 1u);
+  EXPECT_EQ(IntervalResult::count(r.final, AttackType::kSynFlooding), 0u);
+}
+
+TEST(FlowTableDetectorTest, MemoryGrowsWithDistinctFlows) {
+  FlowTableDetector d(cfg());
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    d.observe(syn(i, IPv4{rng.next()}, IPv4(129, 105, 1, 1), 80));
+  }
+  const std::size_t at_1k = d.memory_bytes();
+  for (int i = 0; i < 9000; ++i) {
+    d.observe(syn(i, IPv4{rng.next()}, IPv4(129, 105, 1, 1), 80));
+  }
+  EXPECT_GT(d.memory_bytes(), 5 * at_1k)
+      << "the DoS vulnerability HiFIND avoids";
+}
+
+TEST(FlowTableDetectorTest, ResetRestoresWarmup) {
+  FlowTableDetector d(cfg());
+  feed_baseline(d);
+  d.end_interval(0);
+  d.reset();
+  feed_baseline(d);
+  Pcg32 rng(9);
+  for (int i = 0; i < 300; ++i) {
+    d.observe(syn(i, IPv4{rng.next()}, IPv4(129, 105, 1, 1), 443));
+  }
+  const IntervalResult r = d.end_interval(0);
+  EXPECT_TRUE(r.final.empty()) << "first post-reset interval is warmup";
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,118 @@
+#include "baseline/pcf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hifind {
+namespace {
+
+PacketRecord syn(IPv4 sip, IPv4 dip, std::uint16_t dport = 80) {
+  PacketRecord p;
+  p.sip = sip;
+  p.dip = dip;
+  p.dport = dport;
+  p.sport = 40000;
+  p.flags = kSyn;
+  return p;
+}
+
+PacketRecord synack(IPv4 server, IPv4 client, std::uint16_t sport = 80) {
+  PacketRecord p;
+  p.sip = server;
+  p.dip = client;
+  p.sport = sport;
+  p.dport = 40000;
+  p.flags = kSyn | kAck;
+  p.outbound = true;
+  return p;
+}
+
+TEST(PcfTest, RejectsDegenerateShapes) {
+  EXPECT_THROW(Pcf(PcfConfig{.num_stages = 0}), std::invalid_argument);
+  EXPECT_THROW(Pcf(PcfConfig{.num_buckets = 1}), std::invalid_argument);
+}
+
+TEST(PcfTest, BalancedHandshakesCancel) {
+  Pcf pcf{PcfConfig{}};
+  const IPv4 server(129, 105, 1, 1);
+  for (int i = 0; i < 200; ++i) {
+    const IPv4 client{0x64000000u + static_cast<std::uint32_t>(i)};
+    pcf.observe(syn(client, server));
+    pcf.observe(synack(server, client));
+  }
+  EXPECT_LE(pcf.min_estimate(server.addr), 1.0);
+  EXPECT_FALSE(pcf.suspicious(server.addr));
+}
+
+TEST(PcfTest, FloodVictimShowsImbalance) {
+  Pcf pcf{PcfConfig{}};
+  const IPv4 victim(129, 105, 1, 1);
+  Pcg32 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    pcf.observe(syn(IPv4{rng.next()}, victim));
+  }
+  EXPECT_GE(pcf.min_estimate(victim.addr), 500.0 - 1.0);
+  EXPECT_TRUE(pcf.suspicious(victim.addr));
+  EXPECT_GE(pcf.alarmed_buckets(), 1u);
+}
+
+TEST(PcfTest, MinOverStagesSuppressesCollisionInflation) {
+  // One stage's bucket may be inflated by unrelated mass; the min across
+  // stages (independent hashes) bounds the overestimate — PCF's core trick.
+  PcfConfig cfg;
+  cfg.num_buckets = 64;  // force collisions
+  Pcf pcf{cfg};
+  Pcg32 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    pcf.observe(syn(IPv4{rng.next()},
+                    IPv4{0x81690000u + (rng.next() & 0x3ffu)}));
+  }
+  const IPv4 quiet(129, 106, 9, 9);  // never targeted
+  // Expected mass per bucket ~31; min over 3 stages is close to that, far
+  // below a flood-scale signal.
+  EXPECT_LT(pcf.min_estimate(quiet.addr), 200.0);
+}
+
+// The limitation the HiFIND paper calls out: PCF cannot NAME the victim
+// (no reverse capability) and cannot tell floods from scans.
+TEST(PcfTest, CannotDistinguishFloodFromScanTraffic) {
+  Pcf flood_pcf{PcfConfig{}}, scan_pcf{PcfConfig{}};
+  Pcg32 rng(9);
+  // Flood: 300 SYNs to one victim.
+  for (int i = 0; i < 300; ++i) {
+    flood_pcf.observe(syn(IPv4{rng.next()}, IPv4(129, 105, 1, 1)));
+  }
+  // Vertical scan: 300 SYNs to one target across ports.
+  for (int i = 0; i < 300; ++i) {
+    scan_pcf.observe(syn(IPv4(6, 6, 6, 6), IPv4(129, 105, 1, 1),
+                         static_cast<std::uint16_t>(1 + i)));
+  }
+  // Identical statistic for both: a key-level imbalance with no type info.
+  EXPECT_TRUE(flood_pcf.suspicious(IPv4(129, 105, 1, 1).addr));
+  EXPECT_TRUE(scan_pcf.suspicious(IPv4(129, 105, 1, 1).addr));
+}
+
+TEST(PcfTest, ClearResets) {
+  Pcf pcf{PcfConfig{}};
+  Pcg32 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    pcf.observe(syn(IPv4{rng.next()}, IPv4(129, 105, 1, 1)));
+  }
+  pcf.clear();
+  EXPECT_DOUBLE_EQ(pcf.min_estimate(IPv4(129, 105, 1, 1).addr), 0.0);
+}
+
+TEST(PcfTest, MemoryIsFixed) {
+  Pcf pcf{PcfConfig{}};
+  const std::size_t before = pcf.memory_bytes();
+  Pcg32 rng(13);
+  for (int i = 0; i < 100000; ++i) {
+    pcf.observe(syn(IPv4{rng.next()}, IPv4{rng.next()}));
+  }
+  EXPECT_EQ(pcf.memory_bytes(), before);
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,134 @@
+#include "baseline/trw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hifind {
+namespace {
+
+PacketRecord syn(Timestamp ts, IPv4 sip, IPv4 dip, std::uint16_t dport) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = sip;
+  p.dip = dip;
+  p.sport = 40000;
+  p.dport = dport;
+  p.flags = kSyn;
+  return p;
+}
+
+PacketRecord synack(Timestamp ts, IPv4 sip, IPv4 dip,
+                    std::uint16_t sport) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = sip;
+  p.dip = dip;
+  p.sport = sport;
+  p.dport = 40000;
+  p.flags = kSyn | kAck;
+  p.outbound = true;
+  return p;
+}
+
+TEST(TrwTest, RejectsInvertedThetas) {
+  TrwConfig bad;
+  bad.theta0 = 0.2;
+  bad.theta1 = 0.8;
+  EXPECT_THROW(Trw{bad}, std::invalid_argument);
+}
+
+TEST(TrwTest, ScannerWithManyFailuresIsFlagged) {
+  Trw trw{TrwConfig{}};
+  const IPv4 scanner(6, 6, 6, 6);
+  for (int i = 0; i < 50; ++i) {
+    trw.observe(syn(i, scanner, IPv4{0x81690000u + static_cast<std::uint32_t>(i)}, 445));
+  }
+  trw.flush(200 * kMicrosPerSecond);  // all attempts time out as failures
+  ASSERT_EQ(trw.alerts().size(), 1u);
+  EXPECT_EQ(trw.alerts()[0].sip, scanner);
+}
+
+TEST(TrwTest, BenignClientWithSuccessesIsNotFlagged) {
+  Trw trw{TrwConfig{}};
+  const IPv4 client(100, 1, 1, 1);
+  for (int i = 0; i < 50; ++i) {
+    const IPv4 server{0x81690000u + static_cast<std::uint32_t>(i)};
+    trw.observe(syn(i * 1000, client, server, 80));
+    trw.observe(synack(i * 1000 + 10, server, client, 80));
+  }
+  trw.flush(200 * kMicrosPerSecond);
+  EXPECT_TRUE(trw.alerts().empty());
+}
+
+TEST(TrwTest, SourceAlertsOnlyOnce) {
+  Trw trw{TrwConfig{}};
+  const IPv4 scanner(6, 6, 6, 6);
+  for (int i = 0; i < 500; ++i) {
+    trw.observe(syn(i, scanner, IPv4{0x81690000u + static_cast<std::uint32_t>(i)}, 445));
+    if (i % 50 == 49) trw.flush(i + 100 * kMicrosPerSecond);
+  }
+  trw.flush(1000 * kMicrosPerSecond);
+  EXPECT_EQ(trw.alerts().size(), 1u);
+}
+
+TEST(TrwTest, RepeatContactsAreNotNewTrials) {
+  // Retransmissions to the SAME destination must not add failures.
+  Trw trw{TrwConfig{}};
+  const IPv4 host(100, 2, 2, 2);
+  for (int i = 0; i < 100; ++i) {
+    trw.observe(syn(i, host, IPv4(129, 105, 1, 1), 80));  // same dest
+  }
+  trw.flush(200 * kMicrosPerSecond);
+  EXPECT_TRUE(trw.alerts().empty())
+      << "one destination = at most one first-contact failure";
+}
+
+TEST(TrwTest, RstCountsAsFailure) {
+  Trw trw{TrwConfig{}};
+  const IPv4 scanner(6, 6, 6, 7);
+  for (int i = 0; i < 30; ++i) {
+    const IPv4 target{0x81690000u + static_cast<std::uint32_t>(i)};
+    trw.observe(syn(i * 100, scanner, target, 22));
+    PacketRecord rst;
+    rst.ts = i * 100 + 10;
+    rst.sip = target;
+    rst.dip = scanner;
+    rst.sport = 22;
+    rst.dport = 40000;
+    rst.flags = kRst | kAck;
+    trw.observe(rst);
+  }
+  EXPECT_EQ(trw.alerts().size(), 1u);
+}
+
+// The DoS vulnerability the HiFIND paper highlights (Sec. 3.5): per-source
+// state grows linearly under a spoofed flood.
+TEST(TrwTest, MemoryGrowsLinearlyUnderSpoofedFlood) {
+  Trw trw{TrwConfig{}};
+  Pcg32 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    trw.observe(syn(i, IPv4{rng.next()}, IPv4(129, 105, 1, 1), 80));
+  }
+  const std::size_t at_1k = trw.memory_bytes();
+  for (int i = 1000; i < 10000; ++i) {
+    trw.observe(syn(i, IPv4{rng.next()}, IPv4(129, 105, 1, 1), 80));
+  }
+  const std::size_t at_10k = trw.memory_bytes();
+  EXPECT_GT(at_10k, 8 * at_1k) << "state must track distinct spoofed sources";
+  EXPECT_GE(trw.tracked_sources(), 9900u);
+}
+
+TEST(TrwTest, FlushHonorsTimeout) {
+  TrwConfig cfg;
+  cfg.failure_timeout_us = 10 * kMicrosPerSecond;
+  Trw trw{cfg};
+  trw.observe(syn(0, IPv4(1, 1, 1, 1), IPv4(2, 2, 2, 2), 80));
+  trw.flush(5 * kMicrosPerSecond);  // too early: still pending
+  EXPECT_EQ(trw.pending_connections(), 1u);
+  trw.flush(11 * kMicrosPerSecond);
+  EXPECT_EQ(trw.pending_connections(), 0u);
+}
+
+}  // namespace
+}  // namespace hifind

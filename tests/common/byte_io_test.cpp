@@ -1,0 +1,61 @@
+#include "common/byte_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+TEST(ByteIoTest, RoundTripsScalars) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(-1234.5678);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.f64(), -1234.5678);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteIoTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304u);
+  ASSERT_EQ(w.bytes().size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(ByteIoTest, RoundTripsDoubleSpans) {
+  ByteWriter w;
+  const std::vector<double> values{0.0, -0.0, 1.5, 1e300, -2.25};
+  w.f64_span(values);
+  ByteReader r(w.bytes());
+  const auto back = r.f64_vector();
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i], values[i]);
+  }
+}
+
+TEST(ByteIoTest, ReaderThrowsOnUnderrun) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.u32(), std::runtime_error);
+}
+
+TEST(ByteIoTest, VectorReadRejectsBogusLength) {
+  ByteWriter w;
+  w.u64(1u << 30);  // claims a gigantic vector with no payload
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.f64_vector(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,74 @@
+#include "common/mangler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace hifind {
+namespace {
+
+TEST(InverseOddTest, ProducesExactModularInverse) {
+  const std::uint64_t odds[] = {1, 3, 0x9e3779b97f4a7c15ULL | 1,
+                                0xffffffffffffffffULL, 12345677};
+  for (const std::uint64_t a : odds) {
+    EXPECT_EQ(a * inverse_odd_u64(a), 1ULL) << a;
+  }
+}
+
+TEST(KeyManglerTest, RejectsBadWidth) {
+  EXPECT_THROW(KeyMangler(1, 0), std::invalid_argument);
+  EXPECT_THROW(KeyMangler(1, 65), std::invalid_argument);
+}
+
+class KeyManglerWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyManglerWidth, RoundTripsRandomKeys) {
+  const int bits = GetParam();
+  KeyMangler m(42, bits);
+  const std::uint64_t mask =
+      bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t key = rng.next64() & mask;
+    const std::uint64_t mangled = m.mangle(key);
+    EXPECT_LE(mangled, mask);
+    EXPECT_EQ(m.unmangle(mangled), key);
+  }
+}
+
+TEST_P(KeyManglerWidth, IsInjectiveOnSequentialKeys) {
+  const int bits = GetParam();
+  KeyMangler m(7, bits);
+  std::set<std::uint64_t> images;
+  for (std::uint64_t k = 0; k < 4096; ++k) {
+    EXPECT_TRUE(images.insert(m.mangle(k)).second) << "collision at " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWidths, KeyManglerWidth,
+                         ::testing::Values(32, 48, 64));
+
+TEST(KeyManglerTest, SpreadsClusteredKeysAcrossWords) {
+  // Real keys share prefixes; post-mangling the HIGH byte should take many
+  // values even when inputs differ only in the low bits.
+  KeyMangler m(13, 48);
+  std::set<std::uint8_t> high_bytes;
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    high_bytes.insert(static_cast<std::uint8_t>(m.mangle(k) >> 40));
+  }
+  EXPECT_GT(high_bytes.size(), 32u);
+}
+
+TEST(KeyManglerTest, DifferentSeedsGiveDifferentMappings) {
+  KeyMangler a(1, 48), b(2, 48);
+  int diffs = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    diffs += a.mangle(k) != b.mangle(k) ? 1 : 0;
+  }
+  EXPECT_GT(diffs, 90);
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,69 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hifind {
+namespace {
+
+TEST(Pcg32Test, DeterministicForEqualSeeds) {
+  Pcg32 a(1, 2), b(1, 2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32Test, DifferentStreamsDiverge) {
+  Pcg32 a(1, 2), b(1, 3);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32Test, BoundedStaysInRangeIncludingEdges) {
+  Pcg32 rng(9);
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(7), 7u);
+  }
+}
+
+TEST(Pcg32Test, BoundedIsRoughlyUniform) {
+  Pcg32 rng(77);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Pcg32Test, UniformInUnitInterval) {
+  Pcg32 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Pcg32Test, ChanceMatchesProbability) {
+  Pcg32 rng(31);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.2) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.2, 0.01);
+}
+
+TEST(Pcg32Test, SatisfiesUniformRandomBitEngineShape) {
+  EXPECT_EQ(Pcg32::min(), 0u);
+  EXPECT_EQ(Pcg32::max(), 0xffffffffu);
+  Pcg32 rng(1);
+  (void)rng();  // callable
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,49 @@
+#include "common/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hifind {
+namespace {
+
+TEST(TablePrinterTest, RendersTitleHeaderAndRows) {
+  TablePrinter t("Table X. Demo");
+  t.header({"col1", "column2"});
+  t.row({"a", "b"});
+  t.row({"longer-cell", "c"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Table X. Demo"), std::string::npos);
+  EXPECT_NE(out.find("col1"), std::string::npos);
+  EXPECT_NE(out.find("longer-cell"), std::string::npos);
+}
+
+TEST(TablePrinterTest, AlignsColumnsToWidestCell) {
+  TablePrinter t("");
+  t.header({"h", "k"});
+  t.row({"wide-value", "x"});
+  std::ostringstream os;
+  t.print(os);
+  // The 'k' header must start at the same offset as 'x'.
+  std::istringstream lines(os.str());
+  std::string header, rule, row;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row);
+  EXPECT_EQ(header.find('k'), row.find('x'));
+}
+
+TEST(TablePrinterTest, ToleratesRaggedRows) {
+  TablePrinter t("ragged");
+  t.header({"a", "b", "c"});
+  t.row({"1"});
+  t.row({"1", "2", "3", "4"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+  EXPECT_NE(os.str().find('4'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hifind

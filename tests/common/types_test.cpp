@@ -1,0 +1,77 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+TEST(IPv4Test, DottedQuadConstructionMatchesShift) {
+  const IPv4 ip(10, 20, 30, 40);
+  EXPECT_EQ(ip.addr, (10u << 24) | (20u << 16) | (30u << 8) | 40u);
+}
+
+TEST(IPv4Test, ToStringRoundTripsThroughParse) {
+  const IPv4 cases[] = {IPv4(0, 0, 0, 0), IPv4(255, 255, 255, 255),
+                        IPv4(129, 105, 1, 42), IPv4(10, 0, 0, 1)};
+  for (const IPv4 ip : cases) {
+    EXPECT_EQ(parse_ipv4(to_string(ip)), ip) << to_string(ip);
+  }
+}
+
+TEST(IPv4Test, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_ipv4(""), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("256.1.1.1"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("a.b.c.d"), std::invalid_argument);
+}
+
+TEST(IPv4Test, OrderingFollowsNumericValue) {
+  EXPECT_LT(IPv4(1, 0, 0, 0), IPv4(2, 0, 0, 0));
+  EXPECT_LT(IPv4(1, 0, 0, 1), IPv4(1, 0, 1, 0));
+}
+
+TEST(KeyPackingTest, IpPortRoundTrip) {
+  const IPv4 ip(192, 168, 7, 9);
+  const std::uint16_t port = 1433;
+  const std::uint64_t key = pack_ip_port(ip, port);
+  EXPECT_EQ(unpack_key_ip(key), ip);
+  EXPECT_EQ(unpack_key_port(key), port);
+  EXPECT_LT(key, std::uint64_t{1} << 48) << "48-bit key must fit 48 bits";
+}
+
+TEST(KeyPackingTest, IpIpRoundTrip) {
+  const IPv4 src(1, 2, 3, 4);
+  const IPv4 dst(250, 40, 30, 20);
+  const std::uint64_t key = pack_ip_ip(src, dst);
+  EXPECT_EQ(unpack_key_sip(key), src);
+  EXPECT_EQ(unpack_key_dip(key), dst);
+}
+
+TEST(KeyPackingTest, DistinctInputsGiveDistinctKeys) {
+  EXPECT_NE(pack_ip_port(IPv4(1, 2, 3, 4), 80),
+            pack_ip_port(IPv4(1, 2, 3, 4), 81));
+  EXPECT_NE(pack_ip_port(IPv4(1, 2, 3, 4), 80),
+            pack_ip_port(IPv4(1, 2, 3, 5), 80));
+  EXPECT_NE(pack_ip_ip(IPv4(1, 2, 3, 4), IPv4(5, 6, 7, 8)),
+            pack_ip_ip(IPv4(5, 6, 7, 8), IPv4(1, 2, 3, 4)))
+      << "source and destination are not interchangeable";
+}
+
+TEST(KeyKindTest, BitsAndNames) {
+  EXPECT_EQ(key_kind_bits(KeyKind::SipDport), 48);
+  EXPECT_EQ(key_kind_bits(KeyKind::DipDport), 48);
+  EXPECT_EQ(key_kind_bits(KeyKind::SipDip), 64);
+  EXPECT_STREQ(key_kind_name(KeyKind::SipDport), "{SIP,Dport}");
+  EXPECT_STREQ(key_kind_name(KeyKind::SipDip), "{SIP,DIP}");
+}
+
+TEST(KeyKindTest, FormatKeyShowsBothFacets) {
+  const std::uint64_t key = pack_ip_port(IPv4(129, 105, 5, 6), 22);
+  const std::string text = format_key(KeyKind::SipDport, key);
+  EXPECT_NE(text.find("129.105.5.6"), std::string::npos) << text;
+  EXPECT_NE(text.find("22"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace hifind

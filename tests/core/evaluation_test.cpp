@@ -1,0 +1,190 @@
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+GroundTruthEvent flood_event(IPv4 dip, std::uint16_t dport, Timestamp start,
+                             Timestamp end) {
+  GroundTruthEvent e;
+  e.kind = EventKind::kSynFloodSpoofed;
+  e.label = "flood";
+  e.start = start;
+  e.end = end;
+  e.dip = dip;
+  e.dport = dport;
+  return e;
+}
+
+GroundTruthEvent hscan_event(IPv4 sip, std::uint16_t dport, Timestamp start,
+                             Timestamp end) {
+  GroundTruthEvent e;
+  e.kind = EventKind::kHorizontalScan;
+  e.label = "scan";
+  e.start = start;
+  e.end = end;
+  e.sip = sip;
+  e.dport = dport;
+  return e;
+}
+
+Alert flood_alert(IPv4 dip, std::uint16_t dport, std::uint64_t interval) {
+  Alert a;
+  a.type = AttackType::kSynFlooding;
+  a.key_kind = KeyKind::DipDport;
+  a.key = pack_ip_port(dip, dport);
+  a.interval = interval;
+  return a;
+}
+
+Alert hscan_alert(IPv4 sip, std::uint16_t dport, std::uint64_t interval) {
+  Alert a;
+  a.type = AttackType::kHorizontalScan;
+  a.key_kind = KeyKind::SipDport;
+  a.key = pack_ip_port(sip, dport);
+  a.interval = interval;
+  return a;
+}
+
+constexpr Timestamp kMin = 60 * kMicrosPerSecond;
+
+TEST(MatchAlertTest, FloodAlertMatchesActiveFloodEvent) {
+  GroundTruthLedger truth;
+  truth.add(flood_event(IPv4(129, 105, 1, 1), 80, kMin, 3 * kMin));
+  IntervalClock clock(60);
+  const auto m =
+      match_alert(flood_alert(IPv4(129, 105, 1, 1), 80, 1), truth, clock);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->kind, EventKind::kSynFloodSpoofed);
+}
+
+TEST(MatchAlertTest, WrongIntervalDoesNotMatch) {
+  GroundTruthLedger truth;
+  truth.add(flood_event(IPv4(129, 105, 1, 1), 80, kMin, 2 * kMin));
+  IntervalClock clock(60);
+  EXPECT_FALSE(
+      match_alert(flood_alert(IPv4(129, 105, 1, 1), 80, 5), truth, clock)
+          .has_value());
+}
+
+TEST(MatchAlertTest, WrongVictimDoesNotMatch) {
+  GroundTruthLedger truth;
+  truth.add(flood_event(IPv4(129, 105, 1, 1), 80, kMin, 3 * kMin));
+  IntervalClock clock(60);
+  EXPECT_FALSE(
+      match_alert(flood_alert(IPv4(129, 105, 1, 2), 80, 1), truth, clock)
+          .has_value());
+}
+
+TEST(MatchAlertTest, AttackEventPreferredOverBenignCause) {
+  GroundTruthLedger truth;
+  GroundTruthEvent crowd;
+  crowd.kind = EventKind::kFlashCrowd;
+  crowd.start = kMin;
+  crowd.end = 3 * kMin;
+  crowd.dip = IPv4(129, 105, 1, 1);
+  crowd.dport = 80;
+  truth.add(crowd);
+  truth.add(flood_event(IPv4(129, 105, 1, 1), 80, kMin, 3 * kMin));
+  IntervalClock clock(60);
+  const auto m =
+      match_alert(flood_alert(IPv4(129, 105, 1, 1), 80, 1), truth, clock);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->kind, EventKind::kSynFloodSpoofed);
+}
+
+TEST(EvaluateTest, ScoresPrecisionAndRecall) {
+  GroundTruthLedger truth;
+  truth.add(flood_event(IPv4(129, 105, 1, 1), 80, kMin, 3 * kMin));
+  truth.add(hscan_event(IPv4(6, 6, 6, 6), 445, kMin, 3 * kMin));
+  truth.add(hscan_event(IPv4(7, 7, 7, 7), 22, kMin, 3 * kMin));  // missed
+
+  std::vector<IntervalResult> results(3);
+  results[1].interval = 1;
+  results[1].final.push_back(flood_alert(IPv4(129, 105, 1, 1), 80, 1));
+  results[1].final.push_back(hscan_alert(IPv4(6, 6, 6, 6), 445, 1));
+  results[1].final.push_back(hscan_alert(IPv4(9, 9, 9, 9), 23, 1));  // FP
+  results[2].interval = 2;
+  results[2].final.push_back(flood_alert(IPv4(129, 105, 1, 1), 80, 2));
+
+  IntervalClock clock(60);
+  const EvaluationSummary s = evaluate(results, truth, clock);
+  EXPECT_EQ(s.alerts_total, 4u);
+  EXPECT_EQ(s.alerts_matched, 3u);
+  EXPECT_EQ(s.alerts_unexplained, 1u);
+  EXPECT_EQ(s.attack_events, 3u);
+  EXPECT_EQ(s.attack_events_detected, 2u);
+  EXPECT_NEAR(s.precision(), 0.75, 1e-9);
+  EXPECT_NEAR(s.event_recall(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(EvaluateTest, BenignCausesCountedSeparately) {
+  GroundTruthLedger truth;
+  GroundTruthEvent mis;
+  mis.kind = EventKind::kMisconfiguration;
+  mis.start = kMin;
+  mis.end = 3 * kMin;
+  mis.dip = IPv4(129, 105, 200, 200);
+  mis.dport = 8080;
+  truth.add(mis);
+
+  std::vector<IntervalResult> results(2);
+  results[1].interval = 1;
+  results[1].final.push_back(
+      flood_alert(IPv4(129, 105, 200, 200), 8080, 1));
+
+  const EvaluationSummary s = evaluate(results, truth, IntervalClock(60));
+  EXPECT_EQ(s.alerts_benign_cause, 1u);
+  EXPECT_EQ(s.alerts_unexplained, 0u);
+}
+
+TEST(EvaluateTest, RawPhaseFlagSwitchesAlertSource) {
+  GroundTruthLedger truth;
+  truth.add(flood_event(IPv4(129, 105, 1, 1), 80, kMin, 3 * kMin));
+  std::vector<IntervalResult> results(2);
+  results[1].interval = 1;
+  // Raw phase saw the flood; the final phase filtered it out.
+  results[1].raw.push_back(flood_alert(IPv4(129, 105, 1, 1), 80, 1));
+
+  const EvaluationSummary final_phase =
+      evaluate(results, truth, IntervalClock(60), /*use_final_phase=*/true);
+  EXPECT_EQ(final_phase.alerts_total, 0u);
+  EXPECT_EQ(final_phase.attack_events_detected, 0u);
+
+  const EvaluationSummary raw_phase =
+      evaluate(results, truth, IntervalClock(60), /*use_final_phase=*/false);
+  EXPECT_EQ(raw_phase.alerts_total, 1u);
+  EXPECT_EQ(raw_phase.attack_events_detected, 1u);
+}
+
+TEST(MatchAlertTest, TwoIdenticallyLabelledEventsResolveIndividually) {
+  // Regression: event-level recall must distinguish events sharing label
+  // and time window (identity is the ledger index, not the content).
+  GroundTruthLedger truth;
+  truth.add(hscan_event(IPv4(6, 6, 6, 6), 445, kMin, 3 * kMin));
+  truth.add(hscan_event(IPv4(7, 7, 7, 7), 445, kMin, 3 * kMin));
+
+  std::vector<IntervalResult> results(2);
+  results[1].interval = 1;
+  results[1].final.push_back(hscan_alert(IPv4(6, 6, 6, 6), 445, 1));
+
+  const EvaluationSummary s = evaluate(results, truth, IntervalClock(60));
+  EXPECT_EQ(s.attack_events, 2u);
+  EXPECT_EQ(s.attack_events_detected, 1u)
+      << "only the alerted scanner's event may count as detected";
+}
+
+TEST(DistinctScanSourcesTest, DeduplicatesAcrossIntervals) {
+  std::vector<IntervalResult> results(3);
+  results[0].final.push_back(hscan_alert(IPv4(6, 6, 6, 6), 445, 0));
+  results[1].final.push_back(hscan_alert(IPv4(6, 6, 6, 6), 445, 1));
+  results[2].final.push_back(hscan_alert(IPv4(7, 7, 7, 7), 22, 2));
+  results[2].final.push_back(flood_alert(IPv4(1, 1, 1, 1), 80, 2));
+  const auto sources =
+      distinct_scan_sources(results, AttackType::kHorizontalScan);
+  EXPECT_EQ(sources.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,49 @@
+#include "core/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+TEST(WorstCaseTrafficTest, FlowArithmetic) {
+  // 2.5 Gbps of 40-byte packets = 7.8125 Mpps; one minute = 468.75M flows.
+  WorstCaseTraffic t{.link_gbps = 2.5, .window_minutes = 1.0};
+  EXPECT_NEAR(t.flows(), 468.75e6, 1e3);
+}
+
+TEST(MemoryModelTest, CompleteInfoScalesWithSpeedAndWindow) {
+  const WorstCaseTraffic base{.link_gbps = 2.5, .window_minutes = 1.0};
+  const WorstCaseTraffic fast{.link_gbps = 10.0, .window_minutes = 1.0};
+  const WorstCaseTraffic longer{.link_gbps = 2.5, .window_minutes = 5.0};
+  EXPECT_EQ(complete_info_bytes(fast), 4 * complete_info_bytes(base));
+  EXPECT_EQ(complete_info_bytes(longer), 5 * complete_info_bytes(base));
+}
+
+TEST(MemoryModelTest, MatchesPaperOrderOfMagnitude) {
+  // Paper Table 9: complete info at 2.5Gbps/1min = 10.3GB; TRW = 5.63GB.
+  // Our per-entry costs are explicit lower bounds; same order of magnitude.
+  const WorstCaseTraffic t{.link_gbps = 2.5, .window_minutes = 1.0};
+  const double complete = static_cast<double>(complete_info_bytes(t));
+  const double trw = static_cast<double>(trw_bytes(t));
+  EXPECT_GT(complete, 5e9);
+  EXPECT_LT(complete, 20e9);
+  EXPECT_GT(trw, 3e9);
+  EXPECT_LT(trw, 10e9);
+}
+
+TEST(MemoryModelTest, SketchMemoryIsFiveOrdersSmaller) {
+  const WorstCaseTraffic t{.link_gbps = 10.0, .window_minutes = 5.0};
+  const double complete = static_cast<double>(complete_info_bytes(t));
+  constexpr double kSketchBytes = 13.2e6;  // paper Sec. 5.5.1
+  EXPECT_GT(complete / kSketchBytes, 1e4);
+}
+
+TEST(FormatBytesTest, HumanUnits) {
+  EXPECT_EQ(format_bytes(13.2e6), "13.2M");
+  EXPECT_EQ(format_bytes(10.3e9), "10.3G");
+  EXPECT_EQ(format_bytes(512), "512");
+  EXPECT_EQ(format_bytes(2048), "2.048K");
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,104 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing/synthetic.hpp"
+
+namespace hifind {
+namespace {
+
+using testing::syn_packet;
+using testing::synack_packet;
+
+PipelineConfig cfg() {
+  PipelineConfig c;
+  c.bank.seed = 42;
+  c.bank.twod.x_buckets = 1u << 10;
+  c.detector.interval_seconds = 60;
+  c.detector.min_persist_intervals = 1;
+  return c;
+}
+
+Timestamp minute(double m) {
+  return static_cast<Timestamp>(m * 60.0 * kMicrosPerSecond);
+}
+
+/// Benign completed handshakes spread through interval `m`.
+void baseline_minute(Pipeline& p, double m) {
+  for (int i = 0; i < 50; ++i) {
+    const IPv4 client{0x64000000u + static_cast<std::uint32_t>(i)};
+    const IPv4 server(129, 105, 1, 1);
+    const auto sport = static_cast<std::uint16_t>(20000 + i);
+    const Timestamp ts = minute(m) + static_cast<Timestamp>(i) * 1000000;
+    p.offer(syn_packet(ts, client, server, 443, sport));
+    p.offer(synack_packet(ts + 1000, server, 443, client, sport));
+  }
+}
+
+TEST(PipelineTest, IntervalBoundariesCloseAutomatically) {
+  Pipeline p(cfg());
+  int callbacks = 0;
+  p.on_interval([&](const IntervalResult&) { ++callbacks; });
+  baseline_minute(p, 0);
+  baseline_minute(p, 1);
+  baseline_minute(p, 2);
+  EXPECT_EQ(callbacks, 2) << "two boundaries crossed";
+  p.finish();
+  EXPECT_EQ(callbacks, 3);
+}
+
+TEST(PipelineTest, QuietGapsStillRollIntervals) {
+  Pipeline p(cfg());
+  baseline_minute(p, 0);
+  baseline_minute(p, 5);  // 4 empty intervals in between
+  p.finish();
+  EXPECT_EQ(p.results().size(), 6u);
+}
+
+TEST(PipelineTest, DetectsFloodInjectedMidStream) {
+  Pipeline p(cfg());
+  baseline_minute(p, 0);
+  baseline_minute(p, 1);
+  // Flood in minute 2.
+  Pcg32 rng(3);
+  baseline_minute(p, 2);
+  for (int i = 0; i < 400; ++i) {
+    p.offer(syn_packet(minute(2.2) + i, IPv4{rng.next()},
+                       IPv4(129, 105, 1, 1), 443,
+                       static_cast<std::uint16_t>(1024 + i)));
+  }
+  baseline_minute(p, 3);
+  p.finish();
+
+  ASSERT_EQ(p.results().size(), 4u);
+  EXPECT_TRUE(p.results()[1].final.empty());
+  EXPECT_GE(
+      IntervalResult::count(p.results()[2].final, AttackType::kSynFlooding),
+      1u);
+}
+
+TEST(PipelineTest, FinishIsIdempotentOnEmptyPipeline) {
+  Pipeline p(cfg());
+  EXPECT_FALSE(p.finish().has_value());
+}
+
+TEST(PipelineTest, RunConvenienceProcessesWholeTrace) {
+  Trace t;
+  for (int m = 0; m < 3; ++m) {
+    for (int i = 0; i < 30; ++i) {
+      const auto sport = static_cast<std::uint16_t>(20000 + i);
+      t.push_back(syn_packet(minute(m) + i, IPv4(100, 1, 1, 1),
+                             IPv4(129, 105, 1, 1), 443, sport));
+      t.push_back(synack_packet(minute(m) + i + 1, IPv4(129, 105, 1, 1), 443,
+                                IPv4(100, 1, 1, 1), sport));
+    }
+  }
+  t.sort();
+  Pipeline p(cfg());
+  const auto results = p.run(t);
+  EXPECT_EQ(results.size(), 3u);
+  for (const auto& r : results) EXPECT_TRUE(r.final.empty());
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,63 @@
+#include "detect/alerts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+TEST(AlertTest, FacetAccessorsByKeyKind) {
+  Alert flood;
+  flood.type = AttackType::kSynFlooding;
+  flood.key_kind = KeyKind::DipDport;
+  flood.key = pack_ip_port(IPv4(129, 105, 1, 1), 80);
+  EXPECT_EQ(flood.dip(), IPv4(129, 105, 1, 1));
+  EXPECT_EQ(flood.dport(), 80);
+
+  Alert vscan;
+  vscan.type = AttackType::kVerticalScan;
+  vscan.key_kind = KeyKind::SipDip;
+  vscan.key = pack_ip_ip(IPv4(6, 6, 6, 6), IPv4(129, 105, 2, 2));
+  EXPECT_EQ(vscan.sip(), IPv4(6, 6, 6, 6));
+  EXPECT_EQ(vscan.dip(), IPv4(129, 105, 2, 2));
+
+  Alert hscan;
+  hscan.type = AttackType::kHorizontalScan;
+  hscan.key_kind = KeyKind::SipDport;
+  hscan.key = pack_ip_port(IPv4(7, 7, 7, 7), 1433);
+  EXPECT_EQ(hscan.sip(), IPv4(7, 7, 7, 7));
+  EXPECT_EQ(hscan.dport(), 1433);
+}
+
+TEST(AlertTest, DescribeMentionsTypeAndKey) {
+  Alert a;
+  a.type = AttackType::kHorizontalScan;
+  a.key_kind = KeyKind::SipDport;
+  a.key = pack_ip_port(IPv4(1, 2, 3, 4), 22);
+  a.magnitude = 99.0;
+  const std::string d = a.describe();
+  EXPECT_NE(d.find("horizontal scan"), std::string::npos) << d;
+  EXPECT_NE(d.find("1.2.3.4"), std::string::npos) << d;
+  EXPECT_NE(d.find("22"), std::string::npos) << d;
+}
+
+TEST(IntervalResultTest, CountFiltersByType) {
+  std::vector<Alert> alerts(5);
+  alerts[0].type = AttackType::kSynFlooding;
+  alerts[1].type = AttackType::kHorizontalScan;
+  alerts[2].type = AttackType::kHorizontalScan;
+  alerts[3].type = AttackType::kVerticalScan;
+  alerts[4].type = AttackType::kNonSpoofedSynFlooding;
+  EXPECT_EQ(IntervalResult::count(alerts, AttackType::kHorizontalScan), 2u);
+  EXPECT_EQ(IntervalResult::count(alerts, AttackType::kSynFlooding), 1u);
+  EXPECT_EQ(IntervalResult::count(alerts, AttackType::kVerticalScan), 1u);
+}
+
+TEST(AttackTypeTest, NamesAreDistinct) {
+  EXPECT_STRNE(attack_type_name(AttackType::kSynFlooding),
+               attack_type_name(AttackType::kNonSpoofedSynFlooding));
+  EXPECT_STRNE(attack_type_name(AttackType::kHorizontalScan),
+               attack_type_name(AttackType::kVerticalScan));
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,103 @@
+#include "detect/fp_filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace hifind {
+namespace {
+
+TEST(RatioFilterTest, KeepsPureFlood) {
+  RatioFilter f(3.0);
+  // 600 SYNs, none answered: unresponded == syn.
+  EXPECT_TRUE(f.keep(600.0, 600.0));
+}
+
+TEST(RatioFilterTest, DropsCongestionWithManyAnswers) {
+  RatioFilter f(3.0);
+  // 600 SYNs, 400 answered: server is alive, just slow -> congestion.
+  EXPECT_FALSE(f.keep(600.0, 200.0));
+}
+
+TEST(RatioFilterTest, BoundaryAtConfiguredRatio) {
+  RatioFilter f(3.0);
+  // syn=300, synack=100 -> ratio exactly 3: keep.
+  EXPECT_TRUE(f.keep(300.0, 200.0));
+  // syn=299, synack=100 -> ratio just under 3: drop.
+  EXPECT_FALSE(f.keep(299.0, 199.0));
+}
+
+TEST(RatioFilterTest, NegativeSynackEstimateIsFloodConsistent) {
+  RatioFilter f(3.0);
+  // Sketch noise can make unresponded > syn; treat as flood-consistent.
+  EXPECT_TRUE(f.keep(100.0, 120.0));
+}
+
+TEST(PersistenceFilterTest, RequiresConsecutiveIntervals) {
+  PersistenceFilter f(2);
+  f.begin_interval();
+  EXPECT_FALSE(f.observe(42)) << "first sighting must not pass";
+  f.end_interval();
+  f.begin_interval();
+  EXPECT_TRUE(f.observe(42)) << "second consecutive sighting passes";
+  f.end_interval();
+}
+
+TEST(PersistenceFilterTest, GapResetsRun) {
+  PersistenceFilter f(2);
+  f.begin_interval();
+  f.observe(42);
+  f.end_interval();
+  // Interval with no observation of key 42.
+  f.begin_interval();
+  f.end_interval();
+  f.begin_interval();
+  EXPECT_FALSE(f.observe(42)) << "run restarted after a quiet interval";
+  f.end_interval();
+}
+
+TEST(PersistenceFilterTest, MinOneAlwaysPasses) {
+  PersistenceFilter f(1);
+  f.begin_interval();
+  EXPECT_TRUE(f.observe(7));
+  f.end_interval();
+}
+
+TEST(PersistenceFilterTest, KeysTrackedIndependently) {
+  PersistenceFilter f(2);
+  f.begin_interval();
+  f.observe(1);
+  f.end_interval();
+  f.begin_interval();
+  EXPECT_TRUE(f.observe(1));
+  EXPECT_FALSE(f.observe(2));
+  f.end_interval();
+}
+
+TEST(ActiveServiceFilterTest, DropsNeverAnsweringService) {
+  ActiveServiceFilter f(
+      KarySketchConfig{.num_stages = 4, .num_buckets = 1u << 10, .seed = 5});
+  const std::uint64_t dead = pack_ip_port(IPv4(129, 105, 1, 200), 80);
+  EXPECT_FALSE(f.keep(dead));
+}
+
+TEST(ActiveServiceFilterTest, KeepsServiceWithHistory) {
+  ActiveServiceFilter f(
+      KarySketchConfig{.num_stages = 4, .num_buckets = 1u << 10, .seed = 5});
+  const std::uint64_t live = pack_ip_port(IPv4(129, 105, 1, 1), 443);
+  for (int i = 0; i < 10; ++i) f.record_synack(live);
+  EXPECT_TRUE(f.keep(live));
+}
+
+TEST(ActiveServiceFilterTest, HistoryIsPerService) {
+  ActiveServiceFilter f(
+      KarySketchConfig{.num_stages = 4, .num_buckets = 1u << 12, .seed = 5});
+  const std::uint64_t live = pack_ip_port(IPv4(129, 105, 1, 1), 443);
+  const std::uint64_t other = pack_ip_port(IPv4(129, 105, 1, 1), 80);
+  for (int i = 0; i < 10; ++i) f.record_synack(live);
+  EXPECT_TRUE(f.keep(live));
+  EXPECT_FALSE(f.keep(other)) << "same host, different port: no history";
+}
+
+}  // namespace
+}  // namespace hifind

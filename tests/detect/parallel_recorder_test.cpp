@@ -1,0 +1,125 @@
+#include "detect/parallel_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing/synthetic.hpp"
+
+namespace hifind {
+namespace {
+
+using testing::syn_packet;
+using testing::synack_packet;
+
+SketchBankConfig cfg() {
+  SketchBankConfig c;
+  c.seed = 42;
+  c.rs48.bucket_bits = 12;
+  c.verification.num_buckets = 1u << 12;
+  c.original.num_buckets = 1u << 12;
+  c.twod.x_buckets = 1u << 10;
+  return c;
+}
+
+std::vector<PacketRecord> mixed_stream(int n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<PacketRecord> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.4)) {
+      const IPv4 server{0x81690000u | (rng.next() & 0xffu)};
+      const IPv4 client{rng.next()};
+      const auto sport = static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+      out.push_back(syn_packet(i, client, server, 443, sport));
+      out.push_back(synack_packet(i, server, 443, client, sport));
+    } else {
+      out.push_back(syn_packet(i, IPv4{rng.next()},
+                               IPv4{0x81690000u | (rng.next() & 0xffffu)},
+                               static_cast<std::uint16_t>(rng.bounded(1024))));
+    }
+  }
+  return out;
+}
+
+class ParallelRecorderThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelRecorderThreads, MatchesSerialRecordingExactly) {
+  const unsigned threads = GetParam();
+  const auto stream = mixed_stream(20000, 7);
+
+  SketchBank serial(cfg());
+  for (const auto& p : stream) serial.record(p);
+
+  SketchBank parallel(cfg());
+  {
+    ParallelRecorder rec(parallel, threads);
+    for (const auto& p : stream) rec.offer(p);
+    rec.drain();
+  }
+
+  EXPECT_EQ(parallel.packets_recorded(), serial.packets_recorded());
+  auto expect_same = [](std::span<const double> a,
+                        std::span<const double> b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_DOUBLE_EQ(a[i], b[i]) << "counter " << i;
+    }
+  };
+  expect_same(parallel.rs_sip_dport().counters(),
+              serial.rs_sip_dport().counters());
+  expect_same(parallel.rs_dip_dport().counters(),
+              serial.rs_dip_dport().counters());
+  expect_same(parallel.rs_sip_dip().counters(),
+              serial.rs_sip_dip().counters());
+  expect_same(parallel.verif_dip_dport().counters(),
+              serial.verif_dip_dport().counters());
+  expect_same(parallel.os_dip_dport().counters(),
+              serial.os_dip_dport().counters());
+  expect_same(parallel.twod_sipdip_dport().cells(),
+              serial.twod_sipdip_dport().cells());
+  expect_same(parallel.synack_history().counters(),
+              serial.synack_history().counters());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelRecorderThreads,
+                         ::testing::Values(1u, 2u, 4u, 7u, 16u));
+
+TEST(ParallelRecorderTest, DrainIsReusableAcrossIntervals) {
+  SketchBank bank(cfg());
+  ParallelRecorder rec(bank, 3);
+  const auto stream = mixed_stream(3000, 9);
+  for (const auto& p : stream) rec.offer(p);
+  rec.drain();
+  const auto first = bank.packets_recorded();
+  EXPECT_GT(first, 0u);
+  bank.clear();
+  for (const auto& p : stream) rec.offer(p);
+  rec.drain();
+  EXPECT_EQ(bank.packets_recorded(), first);
+}
+
+TEST(ParallelRecorderTest, DrainOnEmptyIsImmediate) {
+  SketchBank bank(cfg());
+  ParallelRecorder rec(bank, 2);
+  rec.drain();
+  rec.drain();
+  EXPECT_EQ(bank.packets_recorded(), 0u);
+}
+
+TEST(RecordMaskedTest, GroupsPartitionTheBank) {
+  // Applying each group exactly once must equal one full record().
+  const auto stream = mixed_stream(2000, 11);
+  SketchBank full(cfg()), by_groups(cfg());
+  for (const auto& p : stream) full.record(p);
+  for (unsigned g = 0; g < SketchBank::kNumSketchGroups; ++g) {
+    for (const auto& p : stream) {
+      by_groups.record_masked(p, 1u << g);
+    }
+  }
+  EXPECT_EQ(by_groups.packets_recorded(), full.packets_recorded());
+  const auto a = full.rs_dip_dport().counters();
+  const auto b = by_groups.rs_dip_dport().counters();
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,83 @@
+#include "detect/sketch_wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing/synthetic.hpp"
+
+namespace hifind {
+namespace {
+
+using testing::feed_completed;
+using testing::feed_flood;
+
+SketchBankConfig small_cfg() {
+  SketchBankConfig c;
+  c.seed = 77;
+  c.rs48.bucket_bits = 12;
+  c.verification.num_buckets = 1u << 12;
+  c.original.num_buckets = 1u << 12;
+  c.twod.x_buckets = 1u << 10;
+  return c;
+}
+
+TEST(SketchWireTest, RoundTripPreservesEveryCounter) {
+  SketchBank bank(small_cfg());
+  Pcg32 rng(3);
+  feed_completed(bank, IPv4(100, 1, 1, 1), IPv4(129, 105, 1, 1), 443, 50);
+  feed_flood(bank, IPv4(129, 105, 9, 9), 80, 200, true, rng);
+
+  const auto bytes = serialize_bank(bank);
+  const SketchBank back = deserialize_bank(bytes);
+
+  ASSERT_TRUE(back.combinable_with(bank));
+  EXPECT_EQ(back.packets_recorded(), bank.packets_recorded());
+  const auto a = bank.rs_dip_dport().counters();
+  const auto b = back.rs_dip_dport().counters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+  // Estimates — which also exercise the recomputed stage sums — agree.
+  const std::uint64_t key = pack_ip_port(IPv4(129, 105, 9, 9), 80);
+  EXPECT_DOUBLE_EQ(back.rs_dip_dport().estimate(key),
+                   bank.rs_dip_dport().estimate(key));
+  EXPECT_DOUBLE_EQ(back.synack_history().estimate(
+                       pack_ip_port(IPv4(129, 105, 1, 1), 443)),
+                   bank.synack_history().estimate(
+                       pack_ip_port(IPv4(129, 105, 1, 1), 443)));
+}
+
+TEST(SketchWireTest, DeserializedBankCombinesWithLiveBank) {
+  // The point of the wire format: a shipped bank must be COMBINE-compatible
+  // with banks built locally from the same config.
+  SketchBank remote(small_cfg()), local(small_cfg());
+  Pcg32 rng(5);
+  feed_flood(remote, IPv4(129, 105, 9, 9), 80, 100, true, rng);
+  feed_flood(local, IPv4(129, 105, 9, 9), 80, 150, true, rng);
+
+  SketchBank shipped = deserialize_bank(serialize_bank(remote));
+  shipped.accumulate(local);
+  const std::uint64_t key = pack_ip_port(IPv4(129, 105, 9, 9), 80);
+  EXPECT_NEAR(shipped.rs_dip_dport().estimate(key), 250.0, 15.0);
+}
+
+TEST(SketchWireTest, RejectsCorruptedInput) {
+  SketchBank bank(small_cfg());
+  auto bytes = serialize_bank(bank);
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] ^= 0xff;
+  EXPECT_THROW(deserialize_bank(bad), std::runtime_error);
+  // Truncated body.
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(deserialize_bank(bytes), std::runtime_error);
+}
+
+TEST(SketchWireTest, WireSizeMatchesCounterFootprint) {
+  SketchBank bank(small_cfg());
+  const auto bytes = serialize_bank(bank);
+  // Counters dominate; config/header overhead is tiny.
+  EXPECT_GT(bytes.size(), bank.memory_bytes());
+  EXPECT_LT(bytes.size(), bank.memory_bytes() + 4096);
+}
+
+}  // namespace
+}  // namespace hifind

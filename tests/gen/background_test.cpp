@@ -1,0 +1,112 @@
+#include "gen/background.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+NetworkModel make_net() { return NetworkModel{NetworkModelConfig{}}; }
+
+TEST(BackgroundTest, ProducesExpectedVolume) {
+  const NetworkModel net = make_net();
+  BackgroundConfig cfg;
+  cfg.connections_per_second = 50.0;
+  Trace trace;
+  GroundTruthLedger ledger;
+  generate_background(cfg, net, 120 * kMicrosPerSecond, {}, trace, ledger);
+  const TraceStats s = trace.stats();
+  // ~6000 connections, each >= 1 SYN.
+  EXPECT_GT(s.syn_packets, 4500u);
+  EXPECT_LT(s.syn_packets, 9000u);
+}
+
+TEST(BackgroundTest, MostConnectionsComplete) {
+  const NetworkModel net = make_net();
+  BackgroundConfig cfg;
+  Trace trace;
+  GroundTruthLedger ledger;
+  generate_background(cfg, net, 120 * kMicrosPerSecond, {}, trace, ledger);
+  const TraceStats s = trace.stats();
+  EXPECT_GT(static_cast<double>(s.synack_packets),
+            0.75 * static_cast<double>(s.syn_packets))
+      << "benign traffic must mostly complete handshakes";
+}
+
+TEST(BackgroundTest, SynFinBalanceHoldsForCpm) {
+  const NetworkModel net = make_net();
+  BackgroundConfig cfg;
+  Trace trace;
+  GroundTruthLedger ledger;
+  generate_background(cfg, net, 300 * kMicrosPerSecond, {}, trace, ledger);
+  std::size_t fins = 0, syns = 0;
+  for (const auto& p : trace.packets()) {
+    if (p.is_syn()) ++syns;
+    if (p.is_fin()) ++fins;
+  }
+  EXPECT_GT(fins, syns / 2) << "completed connections must close";
+}
+
+TEST(BackgroundTest, FailureWindowSuppressesService) {
+  const NetworkModel net = make_net();
+  BackgroundConfig cfg;
+  cfg.connections_per_second = 200.0;
+  cfg.seed = 5;
+
+  ServerFailureWindow w;
+  w.service_index = 0;  // most popular service
+  w.start = 60 * kMicrosPerSecond;
+  w.end = 120 * kMicrosPerSecond;
+
+  Trace trace;
+  GroundTruthLedger ledger;
+  generate_background(cfg, net, 180 * kMicrosPerSecond, {w}, trace, ledger);
+
+  const Service& svc = net.services()[0];
+  std::size_t syn_in = 0, synack_in = 0, syn_out = 0, synack_out = 0;
+  for (const auto& p : trace.packets()) {
+    const bool in_window = p.ts >= w.start && p.ts < w.end;
+    if (p.is_syn() && p.dip == svc.ip && p.dport == svc.port) {
+      (in_window ? syn_in : syn_out) += 1;
+    }
+    if (p.is_synack() && p.sip == svc.ip && p.sport == svc.port) {
+      (in_window ? synack_in : synack_out) += 1;
+    }
+  }
+  ASSERT_GT(syn_in, 20u) << "clients keep knocking during the failure";
+  EXPECT_LT(static_cast<double>(synack_in), 0.2 * static_cast<double>(syn_in));
+  EXPECT_GT(static_cast<double>(synack_out),
+            0.8 * static_cast<double>(syn_out));
+  // Ledger records the failure window for the evaluator.
+  ASSERT_EQ(ledger.events().size(), 1u);
+  EXPECT_EQ(ledger.events()[0].kind, EventKind::kServerFailure);
+}
+
+TEST(BackgroundTest, EmitsUdpNoise) {
+  const NetworkModel net = make_net();
+  BackgroundConfig cfg;
+  cfg.udp_noise_per_second = 20.0;
+  Trace trace;
+  GroundTruthLedger ledger;
+  generate_background(cfg, net, 60 * kMicrosPerSecond, {}, trace, ledger);
+  std::size_t udp = 0;
+  for (const auto& p : trace.packets()) udp += p.is_tcp() ? 0 : 1;
+  EXPECT_GT(udp, 500u);
+}
+
+TEST(BackgroundTest, DeterministicForSeed) {
+  const NetworkModel net = make_net();
+  BackgroundConfig cfg;
+  cfg.seed = 99;
+  Trace a, b;
+  GroundTruthLedger la, lb;
+  generate_background(cfg, net, 30 * kMicrosPerSecond, {}, a, la);
+  generate_background(cfg, net, 30 * kMicrosPerSecond, {}, b, lb);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ts, b[i].ts);
+    EXPECT_EQ(a[i].sip, b[i].sip);
+  }
+}
+
+}  // namespace
+}  // namespace hifind

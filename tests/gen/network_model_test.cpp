@@ -1,0 +1,104 @@
+#include "gen/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace hifind {
+namespace {
+
+NetworkModelConfig cfg(std::uint64_t seed = 17) {
+  NetworkModelConfig c;
+  c.seed = seed;
+  return c;
+}
+
+TEST(NetworkModelTest, RejectsEmptyConfig) {
+  NetworkModelConfig c;
+  c.internal_prefixes.clear();
+  EXPECT_THROW(NetworkModel{c}, std::invalid_argument);
+}
+
+TEST(NetworkModelTest, InternalAddressesMatchPrefixes) {
+  NetworkModel net{cfg()};
+  Pcg32 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(net.is_internal(net.sample_internal_address(rng)));
+    EXPECT_TRUE(net.is_internal(net.sample_internal_client(rng)));
+  }
+}
+
+TEST(NetworkModelTest, ExternalClientsAreExternal) {
+  NetworkModel net{cfg()};
+  Pcg32 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(net.is_internal(net.sample_external_client(rng)));
+  }
+}
+
+TEST(NetworkModelTest, ServicesLiveInsideAndDeadServiceNeverSampled) {
+  NetworkModel net{cfg()};
+  Pcg32 rng(3);
+  const Service& dead = net.dead_service();
+  EXPECT_FALSE(dead.alive);
+  for (int i = 0; i < 5000; ++i) {
+    const Service& s = net.sample_service(rng);
+    EXPECT_TRUE(s.alive);
+    EXPECT_TRUE(net.is_internal(s.ip));
+    EXPECT_FALSE(s.ip == dead.ip && s.port == dead.port);
+  }
+}
+
+TEST(NetworkModelTest, ServicePopularityIsSkewed) {
+  NetworkModel net{cfg()};
+  Pcg32 rng(4);
+  std::map<std::uint64_t, int> hits;
+  for (int i = 0; i < 20000; ++i) {
+    const Service& s = net.sample_service(rng);
+    ++hits[pack_ip_port(s.ip, s.port)];
+  }
+  int top = 0;
+  for (const auto& [k, n] : hits) top = std::max(top, n);
+  // Zipf head: the hottest service should dwarf the uniform share.
+  EXPECT_GT(top, 20000 / static_cast<int>(net.services().size()) * 5);
+}
+
+TEST(NetworkModelTest, ExternalClientsClusterInBlocks) {
+  // Real client populations occupy few /16s — the anti-spoofing signal.
+  NetworkModel net{cfg()};
+  Pcg32 rng(5);
+  std::set<std::uint32_t> blocks;
+  for (int i = 0; i < 5000; ++i) {
+    blocks.insert(net.sample_external_client(rng).addr >> 16);
+  }
+  EXPECT_LE(blocks.size(), 400u);
+}
+
+TEST(NetworkModelTest, SpoofedSourcesCoverAddressSpace) {
+  NetworkModel net{cfg()};
+  Pcg32 rng(6);
+  std::set<std::uint8_t> octets;
+  for (int i = 0; i < 2000; ++i) {
+    octets.insert(
+        static_cast<std::uint8_t>(net.sample_spoofed_source(rng).addr >> 24));
+  }
+  EXPECT_GT(octets.size(), 200u);
+}
+
+TEST(NetworkModelTest, DeterministicForSeed) {
+  NetworkModel a{cfg(55)}, b{cfg(55)}, c{cfg(56)};
+  ASSERT_EQ(a.services().size(), b.services().size());
+  for (std::size_t i = 0; i < a.services().size(); ++i) {
+    EXPECT_EQ(a.services()[i].ip, b.services()[i].ip);
+    EXPECT_EQ(a.services()[i].port, b.services()[i].port);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.services().size(); ++i) {
+    any_diff |= !(a.services()[i].ip == c.services()[i].ip);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace hifind

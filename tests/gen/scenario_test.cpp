@@ -1,0 +1,99 @@
+#include "gen/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+TEST(ScenarioTest, NuLikeContainsFullAttackMix) {
+  ScenarioConfig cfg = nu_like_config(3, 600);
+  const Scenario s = build_scenario(cfg);
+
+  std::size_t floods = 0, hscans = 0, vscans = 0, benign_anomalies = 0;
+  for (const auto& e : s.truth.events()) {
+    switch (e.kind) {
+      case EventKind::kSynFloodSpoofed:
+      case EventKind::kSynFloodFixed:
+        ++floods;
+        break;
+      case EventKind::kHorizontalScan:
+        ++hscans;
+        break;
+      case EventKind::kVerticalScan:
+        ++vscans;
+        break;
+      case EventKind::kFlashCrowd:
+      case EventKind::kMisconfiguration:
+      case EventKind::kServerFailure:
+        ++benign_anomalies;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(floods, cfg.num_spoofed_floods + cfg.num_fixed_floods);
+  EXPECT_EQ(hscans, cfg.num_hscans);
+  EXPECT_EQ(vscans, cfg.num_vscans);
+  EXPECT_EQ(benign_anomalies, cfg.num_flash_crowds + cfg.num_misconfigs +
+                                  cfg.num_server_failures);
+  EXPECT_GT(s.trace.size(), 10000u);
+}
+
+TEST(ScenarioTest, LblLikeHasNoFloods) {
+  const Scenario s = build_scenario(lbl_like_config(4, 600));
+  for (const auto& e : s.truth.events()) {
+    EXPECT_NE(e.kind, EventKind::kSynFloodSpoofed);
+    EXPECT_NE(e.kind, EventKind::kSynFloodFixed);
+  }
+}
+
+TEST(ScenarioTest, TraceIsTimeSorted) {
+  const Scenario s = build_scenario(nu_like_config(5, 300));
+  for (std::size_t i = 1; i < s.trace.size(); ++i) {
+    ASSERT_LE(s.trace[i - 1].ts, s.trace[i].ts) << "at " << i;
+  }
+}
+
+TEST(ScenarioTest, AttacksStartAfterWarmup) {
+  const Scenario s = build_scenario(nu_like_config(6, 600));
+  for (const auto& e : s.truth.attacks()) {
+    EXPECT_GE(e.start, 120 * kMicrosPerSecond)
+        << "two warmup intervals must stay clean";
+  }
+}
+
+TEST(ScenarioTest, DeterministicForSeed) {
+  const Scenario a = build_scenario(nu_like_config(7, 300));
+  const Scenario b = build_scenario(nu_like_config(7, 300));
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); i += 97) {
+    EXPECT_EQ(a.trace[i].ts, b.trace[i].ts);
+    EXPECT_EQ(a.trace[i].sip, b.trace[i].sip);
+    EXPECT_EQ(a.trace[i].dport, b.trace[i].dport);
+  }
+}
+
+TEST(ScenarioTest, SeedChangesTrace) {
+  const Scenario a = build_scenario(nu_like_config(8, 300));
+  const Scenario b = build_scenario(nu_like_config(9, 300));
+  bool differs = a.trace.size() != b.trace.size();
+  if (!differs) {
+    for (std::size_t i = 0; i < a.trace.size(); i += 101) {
+      differs |= a.trace[i].sip.addr != b.trace[i].sip.addr;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScenarioTest, LedgerActiveQueryFindsOverlaps) {
+  const Scenario s = build_scenario(nu_like_config(10, 600));
+  const auto& events = s.truth.events();
+  ASSERT_FALSE(events.empty());
+  const auto& e = events.front();
+  EXPECT_FALSE(s.truth.active(e.start, e.end).empty());
+  EXPECT_TRUE(e.active_during(e.start, e.end));
+  EXPECT_FALSE(e.active_during(e.end, e.end + 1));
+}
+
+}  // namespace
+}  // namespace hifind

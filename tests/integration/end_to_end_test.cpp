@@ -1,0 +1,87 @@
+// End-to-end: synthetic scenario -> pipeline -> ground-truth evaluation.
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "gen/scenario.hpp"
+
+namespace hifind {
+namespace {
+
+PipelineConfig pipe_cfg() {
+  PipelineConfig c;
+  c.bank.seed = 42;
+  c.detector.interval_seconds = 60;
+  c.detector.syn_rate_threshold = 1.0;
+  return c;
+}
+
+TEST(EndToEndTest, NuLikeScenarioDetectedWithHighRecallAndPrecision) {
+  const Scenario scenario = build_scenario(nu_like_config(21, 900));
+  Pipeline pipeline(pipe_cfg());
+  const auto results = pipeline.run(scenario.trace);
+  const EvaluationSummary s =
+      evaluate(results, scenario.truth, IntervalClock(60));
+
+  EXPECT_GE(s.event_recall(), 0.8)
+      << "most injected attacks must be caught (detected "
+      << s.attack_events_detected << "/" << s.attack_events << ")";
+  EXPECT_LE(s.alerts_unexplained,
+            s.alerts_total / 10 + 2)
+      << "unexplained false positives must be rare";
+}
+
+TEST(EndToEndTest, PhasesMonotonicallyRefineAlerts) {
+  const Scenario scenario = build_scenario(nu_like_config(22, 600));
+  Pipeline pipeline(pipe_cfg());
+  const auto results = pipeline.run(scenario.trace);
+  std::size_t raw = 0, after_2d = 0, final_count = 0;
+  for (const auto& r : results) {
+    raw += r.raw.size();
+    after_2d += r.after_2d.size();
+    final_count += r.final.size();
+    EXPECT_LE(r.after_2d.size(), r.raw.size());
+    EXPECT_LE(r.final.size(), r.after_2d.size());
+  }
+  EXPECT_GT(raw, 0u);
+  EXPECT_GT(final_count, 0u);
+}
+
+TEST(EndToEndTest, LblLikeScenarioYieldsNoFinalFloodAlerts) {
+  // The Table 4/6 LBL property: scans galore, zero (or near-zero) flood
+  // alerts after Phase 3, because there are no real floods.
+  const Scenario scenario = build_scenario(lbl_like_config(23, 900));
+  Pipeline pipeline(pipe_cfg());
+  const auto results = pipeline.run(scenario.trace);
+  std::size_t final_floods = 0, final_hscans = 0;
+  for (const auto& r : results) {
+    final_floods += IntervalResult::count(r.final, AttackType::kSynFlooding);
+    final_hscans +=
+        IntervalResult::count(r.final, AttackType::kHorizontalScan);
+  }
+  EXPECT_EQ(final_floods, 0u);
+  EXPECT_GT(final_hscans, 0u) << "the scans themselves must be found";
+}
+
+TEST(EndToEndTest, ScanAlertsCarryActionableKeys) {
+  const Scenario scenario = build_scenario(nu_like_config(24, 600));
+  Pipeline pipeline(pipe_cfg());
+  const auto results = pipeline.run(scenario.trace);
+  const auto matched =
+      match_alerts(results, scenario.truth, IntervalClock(60));
+  std::size_t scan_alerts = 0, scan_alerts_matching_attacker = 0;
+  for (const auto& m : matched) {
+    if (m.alert.type != AttackType::kHorizontalScan) continue;
+    ++scan_alerts;
+    if (m.cause && m.cause->sip &&
+        m.cause->sip->addr == m.alert.sip().addr) {
+      ++scan_alerts_matching_attacker;
+    }
+  }
+  ASSERT_GT(scan_alerts, 0u);
+  EXPECT_GE(scan_alerts_matching_attacker * 10, scan_alerts * 9)
+      << "reverse sketches must recover the true attacker IP";
+}
+
+}  // namespace
+}  // namespace hifind

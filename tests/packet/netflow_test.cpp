@@ -1,0 +1,81 @@
+#include "packet/netflow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+PacketRecord pkt(Timestamp ts, IPv4 sip, std::uint16_t sport, IPv4 dip,
+                 std::uint16_t dport, std::uint8_t flags = kSyn) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = sip;
+  p.dip = dip;
+  p.sport = sport;
+  p.dport = dport;
+  p.flags = flags;
+  return p;
+}
+
+TEST(FlowAggregatorTest, GroupsByFiveTuple) {
+  FlowAggregator agg;
+  const IPv4 a(1, 1, 1, 1), b(2, 2, 2, 2);
+  agg.add(pkt(0, a, 1000, b, 80));
+  agg.add(pkt(10, a, 1000, b, 80, kAck));
+  agg.add(pkt(20, a, 1001, b, 80));  // different sport => new flow
+  agg.add(pkt(30, b, 80, a, 1000, kSyn | kAck));  // reverse => new flow
+
+  const auto flows = agg.flows();
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_EQ(flows[0].packets, 2u);
+  EXPECT_EQ(flows[0].first_ts, 0u);
+  EXPECT_EQ(flows[0].last_ts, 10u);
+  EXPECT_EQ(flows[0].bytes, 80u);
+  EXPECT_EQ(flows[0].flags_or, kSyn | kAck);
+}
+
+TEST(FlowAggregatorTest, ProtocolDistinguishesFlows) {
+  FlowAggregator agg;
+  PacketRecord tcp = pkt(0, IPv4(1, 1, 1, 1), 53, IPv4(2, 2, 2, 2), 53);
+  PacketRecord udp = tcp;
+  udp.proto = Protocol::kUdp;
+  agg.add(tcp);
+  agg.add(udp);
+  EXPECT_EQ(agg.flow_count(), 2u);
+}
+
+TEST(FlowAggregatorTest, ClearResets) {
+  FlowAggregator agg;
+  agg.add(pkt(0, IPv4(1, 1, 1, 1), 1, IPv4(2, 2, 2, 2), 2));
+  agg.clear();
+  EXPECT_EQ(agg.flow_count(), 0u);
+  EXPECT_EQ(agg.memory_bytes(), 0u);
+}
+
+TEST(FlowAggregatorTest, MemoryGrowsWithFlows) {
+  FlowAggregator agg;
+  for (int i = 0; i < 100; ++i) {
+    agg.add(pkt(0, IPv4{static_cast<std::uint32_t>(i)}, 1, IPv4(2, 2, 2, 2),
+                80));
+  }
+  const std::size_t m100 = agg.memory_bytes();
+  for (int i = 100; i < 200; ++i) {
+    agg.add(pkt(0, IPv4{static_cast<std::uint32_t>(i)}, 1, IPv4(2, 2, 2, 2),
+                80));
+  }
+  EXPECT_EQ(agg.memory_bytes(), 2 * m100);
+}
+
+TEST(AggregateFlowsTest, ConvenienceMatchesManual) {
+  Trace t;
+  t.push_back(pkt(0, IPv4(1, 1, 1, 1), 1, IPv4(2, 2, 2, 2), 80));
+  t.push_back(pkt(5, IPv4(1, 1, 1, 1), 1, IPv4(2, 2, 2, 2), 80));
+  t.push_back(pkt(9, IPv4(3, 3, 3, 3), 1, IPv4(2, 2, 2, 2), 80));
+  const auto flows = aggregate_flows(t);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].packets, 2u);
+  EXPECT_EQ(flows[1].packets, 1u);
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,148 @@
+#include "packet/netflow_v5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+
+namespace hifind {
+namespace {
+
+class NetflowV5Test : public ::testing::Test {
+ protected:
+  std::string path() {
+    auto p = (std::filesystem::temp_directory_path() /
+              ("hifind_nf5_test_" + std::to_string(counter_++) + ".nf5"))
+                 .string();
+    created_.push_back(p);
+    return p;
+  }
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+  int counter_{0};
+  std::vector<std::string> created_;
+};
+
+Trace handshake_trace() {
+  Trace t;
+  PacketRecord syn;
+  syn.ts = 5000;  // netflow keeps millisecond granularity
+  syn.sip = IPv4(100, 1, 2, 3);
+  syn.dip = IPv4(129, 105, 1, 1);
+  syn.sport = 40000;
+  syn.dport = 443;
+  syn.flags = kSyn;
+  t.push_back(syn);
+
+  PacketRecord synack;
+  synack.ts = 9000;
+  synack.sip = IPv4(129, 105, 1, 1);
+  synack.dip = IPv4(100, 1, 2, 3);
+  synack.sport = 443;
+  synack.dport = 40000;
+  synack.flags = kSyn | kAck;
+  synack.outbound = true;
+  t.push_back(synack);
+
+  PacketRecord fin = syn;
+  fin.ts = 2000000;
+  fin.flags = kFin | kAck;
+  t.push_back(fin);
+  return t;
+}
+
+TEST_F(NetflowV5Test, RoundTripPreservesHandshakeSemantics) {
+  const std::string file = path();
+  write_netflow_v5(handshake_trace(), file);
+  NetflowV5ReadStats stats;
+  const Trace back = read_netflow_v5(file, &stats);
+
+  EXPECT_EQ(stats.datagrams, 1u);
+  EXPECT_EQ(stats.records, 3u);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_TRUE(back[0].is_syn());
+  EXPECT_EQ(back[0].sip, IPv4(100, 1, 2, 3));
+  EXPECT_EQ(back[0].dport, 443);
+  EXPECT_TRUE(back[1].is_synack());
+  EXPECT_EQ(back[1].sport, 443);
+  EXPECT_TRUE(back[2].is_fin());
+  // Millisecond granularity, rebased to the first event.
+  EXPECT_EQ(back[1].ts - back[0].ts, 4000u);
+  EXPECT_EQ(syn_delta(back[0]), 1);
+  EXPECT_EQ(syn_delta(back[1]), -1);
+}
+
+TEST_F(NetflowV5Test, ManyRecordsSplitAcrossDatagrams) {
+  Trace t;
+  Pcg32 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    PacketRecord p;
+    p.ts = static_cast<Timestamp>(i) * 1000;
+    p.sip = IPv4{rng.next()};
+    p.dip = IPv4(129, 105, 1, 1);
+    p.sport = 40000;
+    p.dport = 80;
+    p.flags = kSyn;
+    t.push_back(p);
+  }
+  const std::string file = path();
+  write_netflow_v5(t, file);
+  NetflowV5ReadStats stats;
+  const Trace back = read_netflow_v5(file, &stats);
+  EXPECT_EQ(stats.datagrams, 4u) << "30-record packing => ceil(100/30)";
+  EXPECT_EQ(back.size(), 100u);
+  for (std::size_t i = 1; i < back.size(); ++i) {
+    EXPECT_LE(back[i - 1].ts, back[i].ts);
+  }
+}
+
+TEST_F(NetflowV5Test, UdpRecordsPassThrough) {
+  Trace t;
+  PacketRecord udp;
+  udp.ts = 0;
+  udp.sip = IPv4(10, 0, 0, 1);
+  udp.dip = IPv4(129, 105, 2, 2);
+  udp.dport = 53;
+  udp.proto = Protocol::kUdp;
+  t.push_back(udp);
+  const std::string file = path();
+  write_netflow_v5(t, file);
+  NetflowV5ReadStats stats;
+  const Trace back = read_netflow_v5(file, &stats);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].proto, Protocol::kUdp);
+  EXPECT_EQ(stats.non_tcp, 1u);
+}
+
+TEST_F(NetflowV5Test, RejectsBadVersionAndTruncation) {
+  const std::string file = path();
+  write_netflow_v5(handshake_trace(), file);
+  {
+    // Corrupt the version field.
+    std::fstream f(file,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(1);
+    f.put(9);
+  }
+  EXPECT_THROW(read_netflow_v5(file, nullptr), std::runtime_error);
+
+  const std::string file2 = path();
+  write_netflow_v5(handshake_trace(), file2);
+  std::filesystem::resize_file(file2,
+                               std::filesystem::file_size(file2) - 7);
+  EXPECT_THROW(read_netflow_v5(file2, nullptr), std::runtime_error);
+}
+
+TEST_F(NetflowV5Test, EmptyTraceMakesEmptyFile) {
+  const std::string file = path();
+  write_netflow_v5(Trace{}, file);
+  const Trace back = read_netflow_v5(file, nullptr);
+  EXPECT_TRUE(back.empty());
+}
+
+}  // namespace
+}  // namespace hifind

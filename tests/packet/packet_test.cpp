@@ -1,0 +1,89 @@
+#include "packet/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+PacketRecord syn(IPv4 sip, std::uint16_t sport, IPv4 dip,
+                 std::uint16_t dport) {
+  PacketRecord p;
+  p.sip = sip;
+  p.dip = dip;
+  p.sport = sport;
+  p.dport = dport;
+  p.flags = kSyn;
+  return p;
+}
+
+PacketRecord synack(IPv4 sip, std::uint16_t sport, IPv4 dip,
+                    std::uint16_t dport) {
+  PacketRecord p = syn(sip, sport, dip, dport);
+  p.flags = kSyn | kAck;
+  return p;
+}
+
+TEST(PacketFlagsTest, ClassifiesSynAndSynAck) {
+  const PacketRecord s = syn(IPv4(1, 1, 1, 1), 5000, IPv4(2, 2, 2, 2), 80);
+  EXPECT_TRUE(s.is_syn());
+  EXPECT_FALSE(s.is_synack());
+  const PacketRecord sa =
+      synack(IPv4(2, 2, 2, 2), 80, IPv4(1, 1, 1, 1), 5000);
+  EXPECT_FALSE(sa.is_syn());
+  EXPECT_TRUE(sa.is_synack());
+}
+
+TEST(PacketFlagsTest, UdpIsNeverSynRegardlessOfFlagBits) {
+  PacketRecord p = syn(IPv4(1, 1, 1, 1), 5000, IPv4(2, 2, 2, 2), 53);
+  p.proto = Protocol::kUdp;
+  EXPECT_FALSE(p.is_syn());
+  EXPECT_FALSE(p.is_synack());
+  EXPECT_EQ(syn_delta(p), 0);
+}
+
+TEST(SynDeltaTest, SignConvention) {
+  EXPECT_EQ(syn_delta(syn(IPv4(1, 1, 1, 1), 1, IPv4(2, 2, 2, 2), 80)), 1);
+  EXPECT_EQ(syn_delta(synack(IPv4(2, 2, 2, 2), 80, IPv4(1, 1, 1, 1), 1)), -1);
+  PacketRecord fin = syn(IPv4(1, 1, 1, 1), 1, IPv4(2, 2, 2, 2), 80);
+  fin.flags = kFin | kAck;
+  EXPECT_EQ(syn_delta(fin), 0);
+}
+
+// The core cancellation property: a SYN and the SYN/ACK answering it must
+// update the SAME key in every key space, so a completed handshake nets to
+// zero. This is what makes #SYN - #SYN/ACK a failed-connection counter.
+TEST(ExtractKeyTest, SynAndItsSynAckHitTheSameKeys) {
+  const IPv4 client(100, 1, 2, 3);
+  const IPv4 server(129, 105, 8, 9);
+  const PacketRecord s = syn(client, 44321, server, 443);
+  const PacketRecord sa = synack(server, 443, client, 44321);
+  for (const KeyKind kind :
+       {KeyKind::SipDport, KeyKind::DipDport, KeyKind::SipDip}) {
+    EXPECT_EQ(extract_key(kind, s), extract_key(kind, sa))
+        << key_kind_name(kind);
+  }
+}
+
+TEST(ExtractKeyTest, KeysCarryInitiatorOrientedFields) {
+  const IPv4 client(100, 1, 2, 3);
+  const IPv4 server(129, 105, 8, 9);
+  const PacketRecord s = syn(client, 44321, server, 443);
+  EXPECT_EQ(extract_key(KeyKind::SipDport, s), pack_ip_port(client, 443));
+  EXPECT_EQ(extract_key(KeyKind::DipDport, s), pack_ip_port(server, 443));
+  EXPECT_EQ(extract_key(KeyKind::SipDip, s), pack_ip_ip(client, server));
+}
+
+TEST(ExtractKeyTest, SourcePortNeverEntersAnyKey) {
+  const IPv4 client(100, 1, 2, 3);
+  const IPv4 server(129, 105, 8, 9);
+  const PacketRecord a = syn(client, 1111, server, 443);
+  const PacketRecord b = syn(client, 2222, server, 443);
+  for (const KeyKind kind :
+       {KeyKind::SipDport, KeyKind::DipDport, KeyKind::SipDip}) {
+    EXPECT_EQ(extract_key(kind, a), extract_key(kind, b))
+        << "Sport must be ignored (paper Sec. 3.3)";
+  }
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,78 @@
+#include "packet/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+PacketRecord at(Timestamp ts, std::uint8_t flags = kSyn) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = IPv4(1, 2, 3, 4);
+  p.dip = IPv4(5, 6, 7, 8);
+  p.flags = flags;
+  return p;
+}
+
+TEST(TraceTest, SortOrdersByTimestamp) {
+  Trace t;
+  t.push_back(at(300));
+  t.push_back(at(100));
+  t.push_back(at(200));
+  t.sort();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].ts, 100u);
+  EXPECT_EQ(t[1].ts, 200u);
+  EXPECT_EQ(t[2].ts, 300u);
+}
+
+TEST(TraceTest, SortIsStableForEqualTimestamps) {
+  Trace t;
+  t.push_back(at(100, kSyn));
+  t.push_back(at(100, kSyn | kAck));
+  t.sort();
+  EXPECT_TRUE(t[0].is_syn());
+  EXPECT_TRUE(t[1].is_synack());
+}
+
+TEST(TraceTest, AppendConcatenates) {
+  Trace a, b;
+  a.push_back(at(1));
+  b.push_back(at(2));
+  b.push_back(at(3));
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 2u) << "append must not consume the source";
+}
+
+TEST(TraceStatsTest, CountsFlagClassesAndBytes) {
+  Trace t;
+  t.push_back(at(0, kSyn));
+  t.push_back(at(10, kSyn | kAck));
+  PacketRecord udp = at(20, 0);
+  udp.proto = Protocol::kUdp;
+  udp.len = 100;
+  t.push_back(udp);
+  PacketRecord out = at(30, kFin);
+  out.outbound = true;
+  t.push_back(out);
+
+  const TraceStats s = t.stats();
+  EXPECT_EQ(s.packets, 4u);
+  EXPECT_EQ(s.tcp_packets, 3u);
+  EXPECT_EQ(s.syn_packets, 1u);
+  EXPECT_EQ(s.synack_packets, 1u);
+  EXPECT_EQ(s.outbound_packets, 1u);
+  EXPECT_EQ(s.total_bytes, 40u + 40u + 100u + 40u);
+  EXPECT_EQ(s.first_ts, 0u);
+  EXPECT_EQ(s.last_ts, 30u);
+}
+
+TEST(TraceStatsTest, EmptyTraceIsSafe) {
+  const TraceStats s = Trace{}.stats();
+  EXPECT_EQ(s.packets, 0u);
+  EXPECT_DOUBLE_EQ(s.duration_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace hifind

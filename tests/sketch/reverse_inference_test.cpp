@@ -1,0 +1,289 @@
+#include "sketch/reverse_inference.hpp"
+
+#include "sketch/kary_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hifind {
+namespace {
+
+ReversibleSketchConfig rs48(std::uint64_t seed = 1) {
+  return ReversibleSketchConfig{.key_bits = 48, .num_stages = 6,
+                                .bucket_bits = 12, .seed = seed};
+}
+
+ReversibleSketchConfig rs64(std::uint64_t seed = 1) {
+  return ReversibleSketchConfig{.key_bits = 64, .num_stages = 6,
+                                .bucket_bits = 16, .seed = seed};
+}
+
+bool contains_key(const InferenceResult& r, std::uint64_t key) {
+  return std::any_of(r.keys.begin(), r.keys.end(),
+                     [key](const HeavyKey& h) { return h.key == key; });
+}
+
+TEST(ReverseInferenceTest, EmptySketchYieldsNothing) {
+  ReversibleSketch s(rs48());
+  const InferenceResult r = infer_heavy_keys(s, 10.0);
+  EXPECT_TRUE(r.keys.empty());
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(ReverseInferenceTest, RecoversSingleHeavyKeyWithStrictIntersection) {
+  // With stage_slack = 0 a candidate must hit the heavy bucket in EVERY
+  // stage; near-collision keys (differing in one mangled word) survive only
+  // with probability (1/4)^6, so recovery is essentially exact.
+  ReversibleSketch s(rs48());
+  const std::uint64_t key = pack_ip_port(IPv4(129, 105, 44, 7), 1433);
+  s.update(key, 500.0);
+  InferenceOptions strict;
+  strict.stage_slack = 0;
+  const InferenceResult r = infer_heavy_keys(s, 100.0, strict);
+  ASSERT_EQ(r.keys.size(), 1u);
+  EXPECT_EQ(r.keys[0].key, key);
+  EXPECT_NEAR(r.keys[0].estimate, 500.0, 1e-6);
+}
+
+TEST(ReverseInferenceTest, SlackAdmitsNearCollisionsThatVerificationRemoves) {
+  // With stage_slack = 1 (the production default, tolerant of one corrupted
+  // stage) a handful of keys sharing 5 of 6 stage buckets with the true key
+  // are also emitted. This is the documented contract: bare inference is a
+  // small superset, and the paired verification sketch — an independent
+  // full-key hash — screens it down to the true key.
+  ReversibleSketch s(rs48());
+  KarySketch verif(KarySketchConfig{.num_stages = 6,
+                                    .num_buckets = 1u << 14,
+                                    .seed = 99});
+  const std::uint64_t key = pack_ip_port(IPv4(129, 105, 44, 7), 1433);
+  s.update(key, 500.0);
+  verif.update(key, 500.0);
+  const InferenceResult r = infer_heavy_keys(s, 100.0);
+  ASSERT_GE(r.keys.size(), 1u);
+  std::vector<HeavyKey> screened;
+  for (const HeavyKey& k : r.keys) {
+    if (verif.estimate(k.key) >= 100.0) screened.push_back(k);
+  }
+  ASSERT_EQ(screened.size(), 1u);
+  EXPECT_EQ(screened[0].key, key);
+}
+
+TEST(ReverseInferenceTest, RecoversHeavyKeysUnderBackgroundNoise) {
+  ReversibleSketch s(rs48(3));
+  Pcg32 rng(29);
+  for (int i = 0; i < 30000; ++i) {
+    s.update(rng.next64() & ((1ULL << 48) - 1), 1.0);
+  }
+  std::set<std::uint64_t> heavy;
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t key =
+        pack_ip_port(IPv4(200, 1, 1, static_cast<std::uint8_t>(i)), 80);
+    heavy.insert(key);
+    s.update(key, 400.0 + 50.0 * i);
+  }
+  const InferenceResult r = infer_heavy_keys(s, 200.0);
+  for (const std::uint64_t key : heavy) {
+    EXPECT_TRUE(contains_key(r, key)) << format_key(KeyKind::DipDport, key);
+  }
+}
+
+TEST(ReverseInferenceTest, VerificationScreensToExactlyThePlantedKeys) {
+  ReversibleSketch s(rs48(5));
+  KarySketch verif(KarySketchConfig{.num_stages = 6,
+                                    .num_buckets = 1u << 14,
+                                    .seed = 101});
+  std::set<std::uint64_t> heavy;
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t key = pack_ip_port(IPv4(10, 0, 3, i), 22);
+    heavy.insert(key);
+    s.update(key, 1000.0);
+    verif.update(key, 1000.0);
+  }
+  const InferenceResult r = infer_heavy_keys(s, 500.0);
+  std::set<std::uint64_t> screened;
+  for (const HeavyKey& h : r.keys) {
+    EXPECT_GE(h.estimate, 500.0);
+    if (verif.estimate(h.key) >= 500.0) screened.insert(h.key);
+  }
+  EXPECT_EQ(screened, heavy);
+}
+
+TEST(ReverseInferenceTest, Works64Bit) {
+  ReversibleSketch s(rs64(7));
+  Pcg32 rng(41);
+  for (int i = 0; i < 30000; ++i) s.update(rng.next64(), 1.0);
+  const std::uint64_t key = pack_ip_ip(IPv4(98, 198, 251, 168),
+                                       IPv4(129, 105, 9, 10));
+  s.update(key, 900.0);
+  const InferenceResult r = infer_heavy_keys(s, 400.0);
+  EXPECT_TRUE(contains_key(r, key));
+}
+
+TEST(ReverseInferenceTest, NegativeMassIsInvisible) {
+  ReversibleSketch s(rs48());
+  s.update(1234, -5000.0);  // e.g. SYN/ACK surplus
+  const InferenceResult r = infer_heavy_keys(s, 100.0);
+  EXPECT_TRUE(r.keys.empty());
+}
+
+TEST(ReverseInferenceTest, StageSlackRecoversKeyWithOneCorruptedStage) {
+  // Corrupt the heavy key's bucket in ONE stage by brute-forcing a key that
+  // collides with it there, and loading that collider with negative mass
+  // (e.g. a benign service completing handshakes). Strict intersection
+  // (r = 0) loses the key; slack r = 1 — the production default — recovers
+  // it. This is the failure mode stage_slack exists for.
+  ReversibleSketch s(rs48(11));
+  const std::uint64_t key = pack_ip_port(IPv4(44, 55, 66, 77), 445);
+  s.update(key, 800.0);
+
+  std::uint64_t collider = 0;
+  for (std::uint64_t k = 0;; ++k) {
+    if (k != key && s.bucket_of(0, k) == s.bucket_of(0, key) &&
+        s.bucket_of(1, k) != s.bucket_of(1, key)) {
+      collider = k;
+      break;
+    }
+  }
+  s.update(collider, -900.0);  // drags the stage-0 bucket below threshold
+
+  InferenceOptions strict;
+  strict.stage_slack = 0;
+  InferenceOptions slack1;
+  slack1.stage_slack = 1;
+  EXPECT_FALSE(contains_key(infer_heavy_keys(s, 400.0, strict), key))
+      << "strict intersection must lose the corrupted-stage key";
+  EXPECT_TRUE(contains_key(infer_heavy_keys(s, 400.0, slack1), key))
+      << "slack 1 must tolerate one corrupted stage";
+}
+
+TEST(ReverseInferenceTest, TruncationCapsAdversarialOutput) {
+  ReversibleSketch s(rs48(13));
+  // Plant many heavy keys to force a large candidate set.
+  for (std::uint32_t i = 0; i < 600; ++i) {
+    s.update(pack_ip_port(IPv4{0x0a000000u + i}, 80), 1000.0);
+  }
+  InferenceOptions opts;
+  opts.max_candidates = 100;
+  const InferenceResult r = infer_heavy_keys(s, 300.0, opts);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.keys.size(), 100u);
+}
+
+TEST(ReverseInferenceTest, HeavyBucketsMatchInferenceInputs) {
+  ReversibleSketch s(rs48(17));
+  const std::uint64_t key = pack_ip_port(IPv4(1, 2, 3, 4), 8080);
+  s.update(key, 700.0);
+  const auto hb = heavy_buckets(s, 300.0);
+  ASSERT_EQ(hb.size(), 6u);
+  for (std::size_t h = 0; h < hb.size(); ++h) {
+    ASSERT_EQ(hb[h].size(), 1u) << "stage " << h;
+    EXPECT_EQ(hb[h][0], s.bucket_of(h, key));
+  }
+}
+
+TEST(ReverseInferenceTest, RecoversKeySplitAcrossCombinedSketches) {
+  // The multi-router property at sketch level: a key sub-threshold at every
+  // vantage point becomes recoverable from the COMBINEd sketch.
+  const auto cfg = rs48(21);
+  ReversibleSketch a(cfg), b(cfg), c(cfg);
+  const std::uint64_t key = pack_ip_port(IPv4(129, 105, 7, 7), 443);
+  a.update(key, 150.0);
+  b.update(key, 180.0);
+  c.update(key, 170.0);
+  for (ReversibleSketch* part : {&a, &b, &c}) {
+    EXPECT_TRUE(infer_heavy_keys(*part, 400.0).keys.empty())
+        << "each share is below threshold";
+  }
+  std::vector<std::pair<double, const ReversibleSketch*>> terms{
+      {1.0, &a}, {1.0, &b}, {1.0, &c}};
+  const ReversibleSketch combined = ReversibleSketch::combine(terms);
+  EXPECT_TRUE(contains_key(infer_heavy_keys(combined, 400.0), key));
+}
+
+TEST(ReverseInferenceTest, ForecastErrorSketchInferenceFindsOnlyTheChange) {
+  // End-to-end sketch-space change detection: steady keys cancel out in the
+  // error sketch; only the NEW heavy key is recovered.
+  const auto cfg = rs48(23);
+  ReversibleSketch yesterday(cfg), today(cfg);
+  const std::uint64_t steady = pack_ip_port(IPv4(1, 1, 1, 1), 80);
+  const std::uint64_t burst = pack_ip_port(IPv4(2, 2, 2, 2), 1433);
+  yesterday.update(steady, 900.0);
+  today.update(steady, 905.0);  // stable within noise
+  today.update(burst, 500.0);   // the anomaly
+  std::vector<std::pair<double, const ReversibleSketch*>> diff{
+      {1.0, &today}, {-1.0, &yesterday}};
+  const ReversibleSketch error = ReversibleSketch::combine(diff);
+  const InferenceResult r = infer_heavy_keys(error, 100.0);
+  EXPECT_TRUE(contains_key(r, burst));
+  for (const HeavyKey& k : r.keys) {
+    EXPECT_NE(k.key, steady) << "steady traffic must cancel";
+  }
+}
+
+// Property sweep: inference recall across heavy-key populations.
+class InferenceRecall : public ::testing::TestWithParam<int> {};
+
+TEST_P(InferenceRecall, FindsAllPlantedKeys) {
+  const int num_heavy = GetParam();
+  ReversibleSketch s(rs48(100 + num_heavy));
+  Pcg32 rng(num_heavy);
+  for (int i = 0; i < 10000; ++i) {
+    s.update(rng.next64() & ((1ULL << 48) - 1), 1.0);
+  }
+  std::set<std::uint64_t> heavy;
+  while (static_cast<int>(heavy.size()) < num_heavy) {
+    heavy.insert(rng.next64() & ((1ULL << 48) - 1));
+  }
+  for (const std::uint64_t k : heavy) s.update(k, 500.0);
+  const InferenceResult r = infer_heavy_keys(s, 250.0);
+  std::size_t found = 0;
+  for (const std::uint64_t k : heavy) found += contains_key(r, k) ? 1 : 0;
+  EXPECT_EQ(found, heavy.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, InferenceRecall,
+                         ::testing::Values(1, 2, 5, 10, 25));
+
+TEST(ReverseInferenceTest, DenseAnomalySetNeedsInSearchVerification) {
+  // At ~50 concurrent anomalies in a 2^12-bucket sketch the slack-1 search
+  // admits hundreds of thousands of cross-product candidates; an in-search
+  // verifier keeps the output exact AND complete.
+  const int num_heavy = 50;
+  ReversibleSketch s(rs48(7777));
+  KarySketch verif(KarySketchConfig{.num_stages = 6,
+                                    .num_buckets = 1u << 14,
+                                    .seed = 4242});
+  Pcg32 rng(num_heavy);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t k = rng.next64() & ((1ULL << 48) - 1);
+    s.update(k, 1.0);
+    verif.update(k, 1.0);
+  }
+  std::set<std::uint64_t> heavy;
+  while (static_cast<int>(heavy.size()) < num_heavy) {
+    heavy.insert(rng.next64() & ((1ULL << 48) - 1));
+  }
+  for (const std::uint64_t k : heavy) {
+    s.update(k, 500.0);
+    verif.update(k, 500.0);
+  }
+  InferenceOptions opts;
+  opts.verifier = [&verif](std::uint64_t key, double) {
+    return verif.estimate(key) >= 250.0;
+  };
+  const InferenceResult r = infer_heavy_keys(s, 250.0, opts);
+  EXPECT_FALSE(r.truncated);
+  std::size_t found = 0;
+  for (const std::uint64_t k : heavy) found += contains_key(r, k) ? 1 : 0;
+  EXPECT_EQ(found, heavy.size());
+  EXPECT_LE(r.keys.size(), heavy.size() + 5)
+      << "verifier must remove nearly all cross-product artifacts";
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,55 @@
+#include "sketch/verification_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hifind {
+namespace {
+
+KarySketchConfig vcfg() {
+  return KarySketchConfig{.num_stages = 6, .num_buckets = 1u << 12,
+                          .seed = 77};
+}
+
+TEST(VerificationSketchTest, KeepsTrueHeavyKeys) {
+  VerificationSketch v(vcfg());
+  v.update(111, 500.0);
+  v.update(222, 600.0);
+  const std::vector<HeavyKey> cands{{111, 480.0}, {222, 610.0}};
+  const auto kept = v.filter(cands, 400.0);
+  ASSERT_EQ(kept.size(), 2u);
+}
+
+TEST(VerificationSketchTest, DropsFabricatedCandidates) {
+  VerificationSketch v(vcfg());
+  v.update(111, 500.0);
+  // Candidate 999 was an intersection artifact: it never got real mass.
+  const std::vector<HeavyKey> cands{{111, 480.0}, {999, 450.0}};
+  const auto kept = v.filter(cands, 400.0);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].key, 111u);
+}
+
+TEST(VerificationSketchTest, ReportsConservativeMinimumEstimate) {
+  VerificationSketch v(vcfg());
+  v.update(42, 450.0);
+  const auto kept = v.filter({{42, 900.0}}, 400.0);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_NEAR(kept[0].estimate, 450.0, 1.0)
+      << "min(candidate, verification) expected";
+}
+
+TEST(VerificationSketchTest, EmptyCandidateListIsFine) {
+  VerificationSketch v(vcfg());
+  EXPECT_TRUE(v.filter({}, 1.0).empty());
+}
+
+TEST(VerificationSketchTest, UnderlyingSketchIsCombinable) {
+  VerificationSketch a(vcfg()), b(vcfg());
+  a.update(5, 10.0);
+  b.update(5, 20.0);
+  a.sketch().accumulate(b.sketch());
+  EXPECT_NEAR(a.sketch().estimate(5), 30.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hifind

@@ -1,0 +1,81 @@
+// Shared helpers for detector-level tests: tiny hand-rolled packet streams
+// with known structure (completed handshakes, floods, scans).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "detect/sketch_bank.hpp"
+#include "packet/packet.hpp"
+
+namespace hifind::testing {
+
+inline PacketRecord syn_packet(Timestamp ts, IPv4 sip, IPv4 dip,
+                               std::uint16_t dport,
+                               std::uint16_t sport = 40000) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = sip;
+  p.dip = dip;
+  p.sport = sport;
+  p.dport = dport;
+  p.flags = kSyn;
+  return p;
+}
+
+inline PacketRecord synack_packet(Timestamp ts, IPv4 server,
+                                  std::uint16_t service_port, IPv4 client,
+                                  std::uint16_t client_port = 40000) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = server;
+  p.dip = client;
+  p.sport = service_port;
+  p.dport = client_port;
+  p.flags = kSyn | kAck;
+  p.outbound = true;
+  return p;
+}
+
+/// Feeds `count` completed handshakes client->server into the bank.
+inline void feed_completed(SketchBank& bank, IPv4 client, IPv4 server,
+                           std::uint16_t dport, int count,
+                           Timestamp base_ts = 0) {
+  for (int i = 0; i < count; ++i) {
+    const auto sport = static_cast<std::uint16_t>(30000 + i % 20000);
+    bank.record(syn_packet(base_ts + i, client, server, dport, sport));
+    bank.record(synack_packet(base_ts + i, server, dport, client, sport));
+  }
+}
+
+/// Feeds `count` un-answered SYNs (one per spoofed source if spoofed).
+inline void feed_flood(SketchBank& bank, IPv4 victim, std::uint16_t dport,
+                       int count, bool spoofed, Pcg32& rng,
+                       IPv4 attacker = IPv4(6, 6, 6, 6),
+                       Timestamp base_ts = 0) {
+  for (int i = 0; i < count; ++i) {
+    const IPv4 sip = spoofed ? IPv4{rng.next()} : attacker;
+    bank.record(syn_packet(base_ts + i, sip, victim, dport,
+                           static_cast<std::uint16_t>(1024 + (i % 60000))));
+  }
+}
+
+/// Feeds a horizontal scan: one SYN to `count` distinct destinations.
+inline void feed_hscan(SketchBank& bank, IPv4 attacker, std::uint16_t dport,
+                       int count, Timestamp base_ts = 0) {
+  for (int i = 0; i < count; ++i) {
+    const IPv4 target{0x81690000u + static_cast<std::uint32_t>(i)};
+    bank.record(syn_packet(base_ts + i, attacker, target, dport));
+  }
+}
+
+/// Feeds a vertical scan: one SYN to `count` distinct ports on one target.
+inline void feed_vscan(SketchBank& bank, IPv4 attacker, IPv4 target,
+                       int count, Timestamp base_ts = 0) {
+  for (int i = 0; i < count; ++i) {
+    bank.record(syn_packet(base_ts + i, attacker, target,
+                           static_cast<std::uint16_t>(1 + i)));
+  }
+}
+
+}  // namespace hifind::testing
