@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sketch_shape.dir/ablation_sketch_shape.cpp.o"
+  "CMakeFiles/ablation_sketch_shape.dir/ablation_sketch_shape.cpp.o.d"
+  "ablation_sketch_shape"
+  "ablation_sketch_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sketch_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accesses_per_packet.dir/accesses_per_packet.cpp.o"
+  "CMakeFiles/accesses_per_packet.dir/accesses_per_packet.cpp.o.d"
+  "accesses_per_packet"
+  "accesses_per_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accesses_per_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_time.dir/detection_time.cpp.o"
+  "CMakeFiles/detection_time.dir/detection_time.cpp.o.d"
+  "detection_time"
+  "detection_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bimodal.dir/fig4_bimodal.cpp.o"
+  "CMakeFiles/fig4_bimodal.dir/fig4_bimodal.cpp.o.d"
+  "fig4_bimodal"
+  "fig4_bimodal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bimodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

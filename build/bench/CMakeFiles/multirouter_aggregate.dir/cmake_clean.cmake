@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirouter_aggregate.dir/multirouter_aggregate.cpp.o"
+  "CMakeFiles/multirouter_aggregate.dir/multirouter_aggregate.cpp.o.d"
+  "multirouter_aggregate"
+  "multirouter_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirouter_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_functionality.dir/table1_functionality.cpp.o"
+  "CMakeFiles/table1_functionality.dir/table1_functionality.cpp.o.d"
+  "table1_functionality"
+  "table1_functionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_functionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

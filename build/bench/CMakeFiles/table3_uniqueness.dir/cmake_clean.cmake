@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_uniqueness.dir/table3_uniqueness.cpp.o"
+  "CMakeFiles/table3_uniqueness.dir/table3_uniqueness.cpp.o.d"
+  "table3_uniqueness"
+  "table3_uniqueness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_phases.dir/table4_phases.cpp.o"
+  "CMakeFiles/table4_phases.dir/table4_phases.cpp.o.d"
+  "table4_phases"
+  "table4_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

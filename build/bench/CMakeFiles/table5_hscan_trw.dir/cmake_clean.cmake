@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_hscan_trw.dir/table5_hscan_trw.cpp.o"
+  "CMakeFiles/table5_hscan_trw.dir/table5_hscan_trw.cpp.o.d"
+  "table5_hscan_trw"
+  "table5_hscan_trw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_hscan_trw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

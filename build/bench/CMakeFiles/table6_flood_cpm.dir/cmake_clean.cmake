@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_flood_cpm.dir/table6_flood_cpm.cpp.o"
+  "CMakeFiles/table6_flood_cpm.dir/table6_flood_cpm.cpp.o.d"
+  "table6_flood_cpm"
+  "table6_flood_cpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_flood_cpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

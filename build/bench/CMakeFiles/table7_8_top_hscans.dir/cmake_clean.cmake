@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_8_top_hscans.dir/table7_8_top_hscans.cpp.o"
+  "CMakeFiles/table7_8_top_hscans.dir/table7_8_top_hscans.cpp.o.d"
+  "table7_8_top_hscans"
+  "table7_8_top_hscans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_8_top_hscans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

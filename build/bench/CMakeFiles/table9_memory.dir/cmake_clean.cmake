@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_memory.dir/table9_memory.cpp.o"
+  "CMakeFiles/table9_memory.dir/table9_memory.cpp.o.d"
+  "table9_memory"
+  "table9_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_vantage.dir/multi_vantage.cpp.o"
+  "CMakeFiles/multi_vantage.dir/multi_vantage.cpp.o.d"
+  "multi_vantage"
+  "multi_vantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_vantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/backscatter.cpp" "src/baseline/CMakeFiles/hifind_baseline.dir/backscatter.cpp.o" "gcc" "src/baseline/CMakeFiles/hifind_baseline.dir/backscatter.cpp.o.d"
+  "/root/repo/src/baseline/flow_table.cpp" "src/baseline/CMakeFiles/hifind_baseline.dir/flow_table.cpp.o" "gcc" "src/baseline/CMakeFiles/hifind_baseline.dir/flow_table.cpp.o.d"
+  "/root/repo/src/baseline/pcf.cpp" "src/baseline/CMakeFiles/hifind_baseline.dir/pcf.cpp.o" "gcc" "src/baseline/CMakeFiles/hifind_baseline.dir/pcf.cpp.o.d"
+  "/root/repo/src/baseline/superspreader.cpp" "src/baseline/CMakeFiles/hifind_baseline.dir/superspreader.cpp.o" "gcc" "src/baseline/CMakeFiles/hifind_baseline.dir/superspreader.cpp.o.d"
+  "/root/repo/src/baseline/trw.cpp" "src/baseline/CMakeFiles/hifind_baseline.dir/trw.cpp.o" "gcc" "src/baseline/CMakeFiles/hifind_baseline.dir/trw.cpp.o.d"
+  "/root/repo/src/baseline/trw_ac.cpp" "src/baseline/CMakeFiles/hifind_baseline.dir/trw_ac.cpp.o" "gcc" "src/baseline/CMakeFiles/hifind_baseline.dir/trw_ac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hifind_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/hifind_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/hifind_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/hifind_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hifind_baseline.dir/backscatter.cpp.o"
+  "CMakeFiles/hifind_baseline.dir/backscatter.cpp.o.d"
+  "CMakeFiles/hifind_baseline.dir/flow_table.cpp.o"
+  "CMakeFiles/hifind_baseline.dir/flow_table.cpp.o.d"
+  "CMakeFiles/hifind_baseline.dir/pcf.cpp.o"
+  "CMakeFiles/hifind_baseline.dir/pcf.cpp.o.d"
+  "CMakeFiles/hifind_baseline.dir/superspreader.cpp.o"
+  "CMakeFiles/hifind_baseline.dir/superspreader.cpp.o.d"
+  "CMakeFiles/hifind_baseline.dir/trw.cpp.o"
+  "CMakeFiles/hifind_baseline.dir/trw.cpp.o.d"
+  "CMakeFiles/hifind_baseline.dir/trw_ac.cpp.o"
+  "CMakeFiles/hifind_baseline.dir/trw_ac.cpp.o.d"
+  "libhifind_baseline.a"
+  "libhifind_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hifind_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

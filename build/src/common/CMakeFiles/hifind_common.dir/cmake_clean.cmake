@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hifind_common.dir/hash.cpp.o"
+  "CMakeFiles/hifind_common.dir/hash.cpp.o.d"
+  "CMakeFiles/hifind_common.dir/mangler.cpp.o"
+  "CMakeFiles/hifind_common.dir/mangler.cpp.o.d"
+  "CMakeFiles/hifind_common.dir/table_printer.cpp.o"
+  "CMakeFiles/hifind_common.dir/table_printer.cpp.o.d"
+  "CMakeFiles/hifind_common.dir/types.cpp.o"
+  "CMakeFiles/hifind_common.dir/types.cpp.o.d"
+  "libhifind_common.a"
+  "libhifind_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hifind_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

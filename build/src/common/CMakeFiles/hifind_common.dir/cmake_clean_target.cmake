@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhifind_common.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/hifind_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/hifind_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "src/core/CMakeFiles/hifind_core.dir/memory_model.cpp.o" "gcc" "src/core/CMakeFiles/hifind_core.dir/memory_model.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/hifind_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hifind_core.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/hifind_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/hifind_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/hifind_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/hifind_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/hifind_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hifind_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hifind_core.dir/evaluation.cpp.o"
+  "CMakeFiles/hifind_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/hifind_core.dir/memory_model.cpp.o"
+  "CMakeFiles/hifind_core.dir/memory_model.cpp.o.d"
+  "CMakeFiles/hifind_core.dir/pipeline.cpp.o"
+  "CMakeFiles/hifind_core.dir/pipeline.cpp.o.d"
+  "libhifind_core.a"
+  "libhifind_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hifind_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/alerts.cpp" "src/detect/CMakeFiles/hifind_detect.dir/alerts.cpp.o" "gcc" "src/detect/CMakeFiles/hifind_detect.dir/alerts.cpp.o.d"
+  "/root/repo/src/detect/fp_filters.cpp" "src/detect/CMakeFiles/hifind_detect.dir/fp_filters.cpp.o" "gcc" "src/detect/CMakeFiles/hifind_detect.dir/fp_filters.cpp.o.d"
+  "/root/repo/src/detect/hifind.cpp" "src/detect/CMakeFiles/hifind_detect.dir/hifind.cpp.o" "gcc" "src/detect/CMakeFiles/hifind_detect.dir/hifind.cpp.o.d"
+  "/root/repo/src/detect/parallel_recorder.cpp" "src/detect/CMakeFiles/hifind_detect.dir/parallel_recorder.cpp.o" "gcc" "src/detect/CMakeFiles/hifind_detect.dir/parallel_recorder.cpp.o.d"
+  "/root/repo/src/detect/sketch_bank.cpp" "src/detect/CMakeFiles/hifind_detect.dir/sketch_bank.cpp.o" "gcc" "src/detect/CMakeFiles/hifind_detect.dir/sketch_bank.cpp.o.d"
+  "/root/repo/src/detect/sketch_wire.cpp" "src/detect/CMakeFiles/hifind_detect.dir/sketch_wire.cpp.o" "gcc" "src/detect/CMakeFiles/hifind_detect.dir/sketch_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hifind_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/hifind_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/hifind_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

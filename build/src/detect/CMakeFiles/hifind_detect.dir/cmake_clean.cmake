@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hifind_detect.dir/alerts.cpp.o"
+  "CMakeFiles/hifind_detect.dir/alerts.cpp.o.d"
+  "CMakeFiles/hifind_detect.dir/fp_filters.cpp.o"
+  "CMakeFiles/hifind_detect.dir/fp_filters.cpp.o.d"
+  "CMakeFiles/hifind_detect.dir/hifind.cpp.o"
+  "CMakeFiles/hifind_detect.dir/hifind.cpp.o.d"
+  "CMakeFiles/hifind_detect.dir/parallel_recorder.cpp.o"
+  "CMakeFiles/hifind_detect.dir/parallel_recorder.cpp.o.d"
+  "CMakeFiles/hifind_detect.dir/sketch_bank.cpp.o"
+  "CMakeFiles/hifind_detect.dir/sketch_bank.cpp.o.d"
+  "CMakeFiles/hifind_detect.dir/sketch_wire.cpp.o"
+  "CMakeFiles/hifind_detect.dir/sketch_wire.cpp.o.d"
+  "libhifind_detect.a"
+  "libhifind_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hifind_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/attacks.cpp" "src/gen/CMakeFiles/hifind_gen.dir/attacks.cpp.o" "gcc" "src/gen/CMakeFiles/hifind_gen.dir/attacks.cpp.o.d"
+  "/root/repo/src/gen/background.cpp" "src/gen/CMakeFiles/hifind_gen.dir/background.cpp.o" "gcc" "src/gen/CMakeFiles/hifind_gen.dir/background.cpp.o.d"
+  "/root/repo/src/gen/ground_truth.cpp" "src/gen/CMakeFiles/hifind_gen.dir/ground_truth.cpp.o" "gcc" "src/gen/CMakeFiles/hifind_gen.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/gen/network_model.cpp" "src/gen/CMakeFiles/hifind_gen.dir/network_model.cpp.o" "gcc" "src/gen/CMakeFiles/hifind_gen.dir/network_model.cpp.o.d"
+  "/root/repo/src/gen/scenario.cpp" "src/gen/CMakeFiles/hifind_gen.dir/scenario.cpp.o" "gcc" "src/gen/CMakeFiles/hifind_gen.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hifind_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/hifind_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

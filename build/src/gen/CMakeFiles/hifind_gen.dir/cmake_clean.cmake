@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hifind_gen.dir/attacks.cpp.o"
+  "CMakeFiles/hifind_gen.dir/attacks.cpp.o.d"
+  "CMakeFiles/hifind_gen.dir/background.cpp.o"
+  "CMakeFiles/hifind_gen.dir/background.cpp.o.d"
+  "CMakeFiles/hifind_gen.dir/ground_truth.cpp.o"
+  "CMakeFiles/hifind_gen.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/hifind_gen.dir/network_model.cpp.o"
+  "CMakeFiles/hifind_gen.dir/network_model.cpp.o.d"
+  "CMakeFiles/hifind_gen.dir/scenario.cpp.o"
+  "CMakeFiles/hifind_gen.dir/scenario.cpp.o.d"
+  "libhifind_gen.a"
+  "libhifind_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hifind_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/netflow.cpp" "src/packet/CMakeFiles/hifind_packet.dir/netflow.cpp.o" "gcc" "src/packet/CMakeFiles/hifind_packet.dir/netflow.cpp.o.d"
+  "/root/repo/src/packet/netflow_v5.cpp" "src/packet/CMakeFiles/hifind_packet.dir/netflow_v5.cpp.o" "gcc" "src/packet/CMakeFiles/hifind_packet.dir/netflow_v5.cpp.o.d"
+  "/root/repo/src/packet/pcap.cpp" "src/packet/CMakeFiles/hifind_packet.dir/pcap.cpp.o" "gcc" "src/packet/CMakeFiles/hifind_packet.dir/pcap.cpp.o.d"
+  "/root/repo/src/packet/trace.cpp" "src/packet/CMakeFiles/hifind_packet.dir/trace.cpp.o" "gcc" "src/packet/CMakeFiles/hifind_packet.dir/trace.cpp.o.d"
+  "/root/repo/src/packet/trace_io.cpp" "src/packet/CMakeFiles/hifind_packet.dir/trace_io.cpp.o" "gcc" "src/packet/CMakeFiles/hifind_packet.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hifind_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hifind_packet.dir/netflow.cpp.o"
+  "CMakeFiles/hifind_packet.dir/netflow.cpp.o.d"
+  "CMakeFiles/hifind_packet.dir/netflow_v5.cpp.o"
+  "CMakeFiles/hifind_packet.dir/netflow_v5.cpp.o.d"
+  "CMakeFiles/hifind_packet.dir/pcap.cpp.o"
+  "CMakeFiles/hifind_packet.dir/pcap.cpp.o.d"
+  "CMakeFiles/hifind_packet.dir/trace.cpp.o"
+  "CMakeFiles/hifind_packet.dir/trace.cpp.o.d"
+  "CMakeFiles/hifind_packet.dir/trace_io.cpp.o"
+  "CMakeFiles/hifind_packet.dir/trace_io.cpp.o.d"
+  "libhifind_packet.a"
+  "libhifind_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hifind_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

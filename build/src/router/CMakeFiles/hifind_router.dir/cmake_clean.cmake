@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hifind_router.dir/distributed.cpp.o"
+  "CMakeFiles/hifind_router.dir/distributed.cpp.o.d"
+  "libhifind_router.a"
+  "libhifind_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hifind_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/kary_sketch.cpp" "src/sketch/CMakeFiles/hifind_sketch.dir/kary_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/hifind_sketch.dir/kary_sketch.cpp.o.d"
+  "/root/repo/src/sketch/reverse_inference.cpp" "src/sketch/CMakeFiles/hifind_sketch.dir/reverse_inference.cpp.o" "gcc" "src/sketch/CMakeFiles/hifind_sketch.dir/reverse_inference.cpp.o.d"
+  "/root/repo/src/sketch/reversible_sketch.cpp" "src/sketch/CMakeFiles/hifind_sketch.dir/reversible_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/hifind_sketch.dir/reversible_sketch.cpp.o.d"
+  "/root/repo/src/sketch/sketch2d.cpp" "src/sketch/CMakeFiles/hifind_sketch.dir/sketch2d.cpp.o" "gcc" "src/sketch/CMakeFiles/hifind_sketch.dir/sketch2d.cpp.o.d"
+  "/root/repo/src/sketch/verification_sketch.cpp" "src/sketch/CMakeFiles/hifind_sketch.dir/verification_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/hifind_sketch.dir/verification_sketch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hifind_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hifind_sketch.dir/kary_sketch.cpp.o"
+  "CMakeFiles/hifind_sketch.dir/kary_sketch.cpp.o.d"
+  "CMakeFiles/hifind_sketch.dir/reverse_inference.cpp.o"
+  "CMakeFiles/hifind_sketch.dir/reverse_inference.cpp.o.d"
+  "CMakeFiles/hifind_sketch.dir/reversible_sketch.cpp.o"
+  "CMakeFiles/hifind_sketch.dir/reversible_sketch.cpp.o.d"
+  "CMakeFiles/hifind_sketch.dir/sketch2d.cpp.o"
+  "CMakeFiles/hifind_sketch.dir/sketch2d.cpp.o.d"
+  "CMakeFiles/hifind_sketch.dir/verification_sketch.cpp.o"
+  "CMakeFiles/hifind_sketch.dir/verification_sketch.cpp.o.d"
+  "libhifind_sketch.a"
+  "libhifind_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hifind_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline.dir/baseline/backscatter_test.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/backscatter_test.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/cpm_test.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/cpm_test.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/flow_table_test.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/flow_table_test.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/pcf_test.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/pcf_test.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/superspreader_test.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/superspreader_test.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/trw_ac_test.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/trw_ac_test.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/trw_test.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/trw_test.cpp.o.d"
+  "test_baseline"
+  "test_baseline.pdb"
+  "test_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

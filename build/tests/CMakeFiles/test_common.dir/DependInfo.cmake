@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/byte_io_test.cpp" "tests/CMakeFiles/test_common.dir/common/byte_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/byte_io_test.cpp.o.d"
+  "/root/repo/tests/common/hash_test.cpp" "tests/CMakeFiles/test_common.dir/common/hash_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/hash_test.cpp.o.d"
+  "/root/repo/tests/common/interval_test.cpp" "tests/CMakeFiles/test_common.dir/common/interval_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/interval_test.cpp.o.d"
+  "/root/repo/tests/common/mangler_test.cpp" "tests/CMakeFiles/test_common.dir/common/mangler_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/mangler_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/table_printer_test.cpp" "tests/CMakeFiles/test_common.dir/common/table_printer_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_printer_test.cpp.o.d"
+  "/root/repo/tests/common/types_test.cpp" "tests/CMakeFiles/test_common.dir/common/types_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hifind_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hifind_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/hifind_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/hifind_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/hifind_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/hifind_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/hifind_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hifind_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect.dir/detect/alerts_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/alerts_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/fp_filters_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/fp_filters_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/hifind_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/hifind_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/parallel_recorder_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/parallel_recorder_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/sketch_bank_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/sketch_bank_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/sketch_wire_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/sketch_wire_test.cpp.o.d"
+  "test_detect"
+  "test_detect.pdb"
+  "test_detect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forecast.dir/forecast/forecaster_test.cpp.o"
+  "CMakeFiles/test_forecast.dir/forecast/forecaster_test.cpp.o.d"
+  "CMakeFiles/test_forecast.dir/forecast/scalar_test.cpp.o"
+  "CMakeFiles/test_forecast.dir/forecast/scalar_test.cpp.o.d"
+  "test_forecast"
+  "test_forecast.pdb"
+  "test_forecast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gen.dir/gen/attacks_test.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/attacks_test.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/background_test.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/background_test.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/network_model_test.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/network_model_test.cpp.o.d"
+  "CMakeFiles/test_gen.dir/gen/scenario_test.cpp.o"
+  "CMakeFiles/test_gen.dir/gen/scenario_test.cpp.o.d"
+  "test_gen"
+  "test_gen.pdb"
+  "test_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

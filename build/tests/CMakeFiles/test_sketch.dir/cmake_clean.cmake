@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sketch.dir/sketch/kary_sketch_test.cpp.o"
+  "CMakeFiles/test_sketch.dir/sketch/kary_sketch_test.cpp.o.d"
+  "CMakeFiles/test_sketch.dir/sketch/reverse_inference_test.cpp.o"
+  "CMakeFiles/test_sketch.dir/sketch/reverse_inference_test.cpp.o.d"
+  "CMakeFiles/test_sketch.dir/sketch/reversible_sketch_test.cpp.o"
+  "CMakeFiles/test_sketch.dir/sketch/reversible_sketch_test.cpp.o.d"
+  "CMakeFiles/test_sketch.dir/sketch/sketch2d_test.cpp.o"
+  "CMakeFiles/test_sketch.dir/sketch/sketch2d_test.cpp.o.d"
+  "CMakeFiles/test_sketch.dir/sketch/sketch_properties_test.cpp.o"
+  "CMakeFiles/test_sketch.dir/sketch/sketch_properties_test.cpp.o.d"
+  "CMakeFiles/test_sketch.dir/sketch/verification_sketch_test.cpp.o"
+  "CMakeFiles/test_sketch.dir/sketch/verification_sketch_test.cpp.o.d"
+  "test_sketch"
+  "test_sketch.pdb"
+  "test_sketch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
