@@ -1,0 +1,262 @@
+// Recording-pipeline throughput (paper Sec. 5.5.3), as google-benchmark.
+//
+// Measures items/s (recordable packets per second) for:
+//   - Serial:   SketchBank::record per packet, one thread;
+//   - Legacy:   the pre-pipeline ParallelRecorder (mutex+condvar vector
+//               queues, per-worker key re-extraction, scalar updates) — kept
+//               here verbatim as the regression baseline;
+//   - Pipeline: the lock-free SPSC-ring recorder (shared RecordOp
+//               extraction, prefetched batch updates);
+//   - UpdateScalar/UpdateBatch: single-sketch scalar update() vs
+//     update_batch() on the bank's largest reversible sketch (64-bit keys,
+//     2^16 buckets) and on a verification-shaped k-ary sketch.
+//
+// bench/run_record_pipeline.py runs this binary and distills
+// BENCH_throughput.json; future PRs regress against that file.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "detect/parallel_recorder.hpp"
+#include "detect/sketch_bank.hpp"
+#include "sketch/reversible_sketch.hpp"
+#include "sketch/sketch_ops.hpp"
+
+namespace hifind {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Legacy recorder: the exact pre-pipeline implementation (mutex+condvar
+// std::vector queues; every worker re-extracts keys via record_masked).
+class LegacyParallelRecorder {
+ public:
+  LegacyParallelRecorder(SketchBank& bank, unsigned num_threads)
+      : bank_(bank) {
+    const unsigned n = std::clamp(num_threads, 1u,
+                                  SketchBank::kNumSketchGroups);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      workers_.push_back(std::make_unique<Worker>());
+    }
+    for (unsigned g = 0; g < SketchBank::kNumSketchGroups; ++g) {
+      workers_[g % n]->mask |= 1u << g;
+    }
+    for (auto& w : workers_) {
+      w->thread =
+          std::thread([this, worker = w.get()] { run_worker(*worker); });
+    }
+    batch_.reserve(kBatchSize);
+  }
+
+  ~LegacyParallelRecorder() {
+    drain();
+    for (auto& w : workers_) {
+      {
+        std::lock_guard<std::mutex> lock(w->mu);
+        w->stop = true;
+      }
+      w->cv.notify_all();
+    }
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+  }
+
+  void offer(const PacketRecord& p) {
+    batch_.push_back(p);
+    if (batch_.size() >= kBatchSize) flush_batch();
+  }
+
+  void drain() {
+    flush_batch();
+    for (auto& w : workers_) {
+      std::unique_lock<std::mutex> lock(w->mu);
+      w->cv.wait(lock, [&w] { return w->idle && w->queue.empty(); });
+    }
+  }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    unsigned mask{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<PacketRecord> queue;
+    bool stop{false};
+    bool idle{true};
+  };
+
+  void flush_batch() {
+    if (batch_.empty()) return;
+    for (auto& w : workers_) {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->queue.insert(w->queue.end(), batch_.begin(), batch_.end());
+      w->idle = false;
+      w->cv.notify_all();
+    }
+    batch_.clear();
+  }
+
+  void run_worker(Worker& w) {
+    std::vector<PacketRecord> local;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(w.mu);
+        w.cv.wait(lock, [&w] { return w.stop || !w.queue.empty(); });
+        if (w.queue.empty()) {
+          if (w.stop) return;
+          continue;
+        }
+        local.swap(w.queue);
+      }
+      for (const PacketRecord& p : local) {
+        bank_.record_masked(p, w.mask);
+      }
+      local.clear();
+      {
+        std::lock_guard<std::mutex> lock(w.mu);
+        if (w.queue.empty()) {
+          w.idle = true;
+          w.cv.notify_all();
+        }
+      }
+    }
+  }
+
+  SketchBank& bank_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<PacketRecord> batch_;
+  static constexpr std::size_t kBatchSize = 1024;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Worst-case interval: every packet is a SYN or SYN-ACK, so every packet
+/// touches every sketch (non-recordable packets are nearly free either way).
+std::vector<PacketRecord> recordable_stream(std::size_t n) {
+  Pcg32 rng(3);
+  std::vector<PacketRecord> packets(n);
+  for (auto& p : packets) {
+    p.sip = IPv4{rng.next()};
+    p.dip = IPv4{rng.next()};
+    p.sport = static_cast<std::uint16_t>(rng.next());
+    p.dport = static_cast<std::uint16_t>(rng.bounded(1024));
+    p.flags = rng.chance(0.5) ? kSyn : (kSyn | kAck);
+  }
+  return packets;
+}
+
+constexpr std::size_t kStreamLen = 1 << 15;
+
+void BM_SerialRecord(benchmark::State& state) {
+  SketchBank bank{SketchBankConfig{}};
+  const auto stream = recordable_stream(kStreamLen);
+  for (auto _ : state) {
+    for (const auto& p : stream) bank.record(p);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_SerialRecord)->UseRealTime();
+
+void BM_LegacyRecorder(benchmark::State& state) {
+  SketchBank bank{SketchBankConfig{}};
+  const auto stream = recordable_stream(kStreamLen);
+  LegacyParallelRecorder rec(bank,
+                             static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    for (const auto& p : stream) rec.offer(p);
+    rec.drain();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_LegacyRecorder)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_PipelineRecorder(benchmark::State& state) {
+  SketchBank bank{SketchBankConfig{}};
+  const auto stream = recordable_stream(kStreamLen);
+  ParallelRecorder rec(bank, static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    for (const auto& p : stream) rec.offer(p);
+    rec.drain();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+  state.counters["worst_case_Gbps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(stream.size()) * 320e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PipelineRecorder)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+std::vector<KeyDelta> random_ops(std::size_t n, int bits) {
+  Pcg32 rng(7);
+  const std::uint64_t mask =
+      bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+  std::vector<KeyDelta> ops(n);
+  for (auto& op : ops) {
+    op.key = rng.next64() & mask;
+    op.delta = 1.0;
+  }
+  return ops;
+}
+
+void BM_UpdateScalarRS64(benchmark::State& state) {
+  ReversibleSketch s(ReversibleSketchConfig{.key_bits = 64, .num_stages = 6,
+                                            .bucket_bits = 16, .seed = 1});
+  const auto ops = random_ops(kStreamLen, 64);
+  for (auto _ : state) {
+    for (const auto& op : ops) s.update(op.key, op.delta);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ops.size()));
+}
+BENCHMARK(BM_UpdateScalarRS64);
+
+void BM_UpdateBatchRS64(benchmark::State& state) {
+  ReversibleSketch s(ReversibleSketchConfig{.key_bits = 64, .num_stages = 6,
+                                            .bucket_bits = 16, .seed = 1});
+  const auto ops = random_ops(kStreamLen, 64);
+  for (auto _ : state) {
+    s.update_batch(ops);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ops.size()));
+}
+BENCHMARK(BM_UpdateBatchRS64);
+
+void BM_UpdateScalarKary(benchmark::State& state) {
+  KarySketch s(KarySketchConfig{.num_stages = 6, .num_buckets = 1u << 14,
+                                .seed = 1});
+  const auto ops = random_ops(kStreamLen, 64);
+  for (auto _ : state) {
+    for (const auto& op : ops) s.update(op.key, op.delta);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ops.size()));
+}
+BENCHMARK(BM_UpdateScalarKary);
+
+void BM_UpdateBatchKary(benchmark::State& state) {
+  KarySketch s(KarySketchConfig{.num_stages = 6, .num_buckets = 1u << 14,
+                                .seed = 1});
+  const auto ops = random_ops(kStreamLen, 64);
+  for (auto _ : state) {
+    s.update_batch(ops);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ops.size()));
+}
+BENCHMARK(BM_UpdateBatchKary);
+
+}  // namespace
+}  // namespace hifind
+
+BENCHMARK_MAIN();

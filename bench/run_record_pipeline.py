@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Runs the record_pipeline benchmark and distills BENCH_throughput.json.
+
+Usage:
+    python3 bench/run_record_pipeline.py [--build-dir build] [--out BENCH_throughput.json]
+
+The output file records items/s (recordable packets per second) for the
+serial path, the legacy mutex/condvar recorder, and the lock-free pipeline
+at 1/2/4/8 requested threads, plus scalar-vs-batch single-sketch update
+rates, and the derived speedups the acceptance gates care about:
+    pipeline_vs_legacy_4t  >= 1.5 expected
+    batch_vs_scalar_rs64   >= 1.2 expected
+All numbers come from the same binary in the same run, on the same machine.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_throughput.json")
+    parser.add_argument(
+        "--min-time",
+        default="1.0",
+        help="google-benchmark --benchmark_min_time per case (seconds)",
+    )
+    args = parser.parse_args()
+
+    binary = os.path.join(args.build_dir, "bench", "record_pipeline")
+    if not os.path.exists(binary):
+        print(f"error: {binary} not found — build the repo first", file=sys.stderr)
+        return 1
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = tmp.name
+    try:
+        subprocess.run(
+            [
+                binary,
+                f"--benchmark_min_time={args.min_time}",
+                "--benchmark_format=json",
+                f"--benchmark_out={raw_path}",
+                "--benchmark_out_format=json",
+            ],
+            check=True,
+        )
+        with open(raw_path) as f:
+            raw = json.load(f)
+    finally:
+        os.unlink(raw_path)
+
+    items = {}
+    for bench in raw["benchmarks"]:
+        if bench.get("run_type") == "aggregate":
+            continue
+        # Multithreaded recorder benches use UseRealTime(), which suffixes
+        # the benchmark name; the rate is items per wall-clock second.
+        name = bench["name"].removesuffix("/real_time")
+        items[name] = bench.get("items_per_second")
+
+    def threaded(prefix: str) -> dict:
+        out = {}
+        for name, rate in items.items():
+            m = re.fullmatch(re.escape(prefix) + r"/(\d+)", name)
+            if m:
+                out[m.group(1)] = rate
+        return out
+
+    result = {
+        "generated_by": "bench/run_record_pipeline.py",
+        "benchmark": "bench/record_pipeline.cpp",
+        "context": {
+            "date": raw["context"]["date"],
+            "num_cpus": raw["context"]["num_cpus"],
+            "mhz_per_cpu": raw["context"].get("mhz_per_cpu"),
+            "build_type": raw["context"].get("library_build_type"),
+        },
+        "items_per_second": {
+            "serial": items.get("BM_SerialRecord"),
+            "legacy": threaded("BM_LegacyRecorder"),
+            "pipeline": threaded("BM_PipelineRecorder"),
+            "update_scalar_rs64": items.get("BM_UpdateScalarRS64"),
+            "update_batch_rs64": items.get("BM_UpdateBatchRS64"),
+            "update_scalar_kary": items.get("BM_UpdateScalarKary"),
+            "update_batch_kary": items.get("BM_UpdateBatchKary"),
+        },
+    }
+
+    def ratio(a, b):
+        return round(a / b, 3) if a and b else None
+
+    ips = result["items_per_second"]
+    result["speedup"] = {
+        "pipeline_vs_legacy_4t": ratio(
+            ips["pipeline"].get("4"), ips["legacy"].get("4")
+        ),
+        "pipeline_vs_serial_4t": ratio(ips["pipeline"].get("4"), ips["serial"]),
+        "batch_vs_scalar_rs64": ratio(
+            ips["update_batch_rs64"], ips["update_scalar_rs64"]
+        ),
+        "batch_vs_scalar_kary": ratio(
+            ips["update_batch_kary"], ips["update_scalar_kary"]
+        ),
+    }
+
+    tmp_out = args.out + ".tmp"
+    with open(tmp_out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    os.replace(tmp_out, args.out)
+    print(json.dumps(result["speedup"], indent=2))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "common/hash.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace hifind {
@@ -10,6 +11,17 @@ TabulationHash::TabulationHash(std::uint64_t seed) {
     for (auto& cell : row) {
       cell = rng.next64();
     }
+  }
+}
+
+TabulationHash::TabulationHash(std::uint64_t seed, std::size_t buckets)
+    : TabulationHash(seed) {
+  if (buckets == 0) {
+    throw std::invalid_argument("TabulationHash needs >=1 bucket");
+  }
+  buckets_ = buckets;
+  if (buckets >= 2 && (buckets & (buckets - 1)) == 0) {
+    shift_ = 64 - std::countr_zero(buckets);
   }
 }
 

@@ -31,11 +31,21 @@ constexpr std::uint64_t mix64(std::uint64_t x) {
 /// Seeded tabulation hash over the 8 bytes of a 64-bit key. The output is
 /// folded to a caller-chosen bucket count with a multiply-shift, so bucket
 /// counts need not be powers of two.
+///
+/// Constructing with a fixed bucket count selects a fold at construction:
+/// power-of-two counts (every sketch config in the bank) take a shift fast
+/// path instead of the 128-bit multiply-high. The shift IS the multiply-high
+/// fold specialized to buckets = 2^k — (h * 2^k) >> 64 == h >> (64 − k) — so
+/// the bucket mapping is bit-identical either way.
 class TabulationHash {
  public:
   /// Builds the 8x256 random table from the seed. Distinct seeds give
   /// (statistically) independent hash functions.
   explicit TabulationHash(std::uint64_t seed);
+
+  /// As above, additionally fixing the bucket count served by the one-argument
+  /// bucket() overload. `buckets` must be >= 1.
+  TabulationHash(std::uint64_t seed, std::size_t buckets);
 
   /// Full 64-bit hash of the key.
   std::uint64_t hash(std::uint64_t key) const {
@@ -53,8 +63,20 @@ class TabulationHash {
         (static_cast<unsigned __int128>(hash(key)) * buckets) >> 64);
   }
 
+  /// Hash folded to the construction-time bucket count, dispatching to the
+  /// shift fast path when that count is a power of two.
+  std::size_t bucket(std::uint64_t key) const {
+    if (shift_ < 64) return static_cast<std::size_t>(hash(key) >> shift_);
+    return bucket(key, buckets_);
+  }
+
+  /// The construction-time bucket count (1 when none was given).
+  std::size_t fixed_buckets() const { return buckets_; }
+
  private:
   std::array<std::array<std::uint64_t, 256>, 8> table_;
+  std::size_t buckets_{1};
+  int shift_{64};  ///< 64 − log2(buckets) when power of two, else 64 (off)
 };
 
 /// A random function from 8-bit words to [0, 2^out_bits), represented as a

@@ -1,88 +1,138 @@
 #include "detect/parallel_recorder.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <span>
 
 namespace hifind {
+namespace {
 
-ParallelRecorder::ParallelRecorder(SketchBank& bank, unsigned num_threads)
-    : bank_(bank) {
+/// One step of spin-then-yield backoff. A few pause iterations cover the
+/// common "other side is about to make progress" window on multi-core
+/// machines; past that we yield so oversubscribed configurations (more
+/// threads than cores) keep making progress instead of burning the quantum.
+inline void backoff(unsigned& spins) {
+  if (spins < 16) {
+    ++spins;
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+ParallelRecorder::ParallelRecorder(SketchBank& bank, unsigned num_threads,
+                                   std::size_t ring_capacity)
+    : bank_(bank),
+      capacity_(std::bit_ceil(std::max<std::size_t>(ring_capacity, 2))) {
   const unsigned n = std::clamp(num_threads, 1u,
                                 SketchBank::kNumSketchGroups);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
-    workers_.push_back(std::make_unique<Worker>());
+    workers_.push_back(std::make_unique<Worker>(capacity_));
   }
   // Deal the sketch groups round-robin across workers; masks are disjoint,
-  // so concurrent record_masked calls touch disjoint bank state.
+  // so concurrent record_ops calls touch disjoint bank state.
   for (unsigned g = 0; g < SketchBank::kNumSketchGroups; ++g) {
-    workers_[g % n]->mask |= 1u << g;
+    workers_[g % n]->group_mask |= 1u << g;
   }
   for (auto& w : workers_) {
     w->thread = std::thread([this, worker = w.get()] { run_worker(*worker); });
   }
-  batch_.reserve(kBatchSize);
+  pending_.reserve(kProducerBatch);
 }
 
 ParallelRecorder::~ParallelRecorder() {
   drain();
   for (auto& w : workers_) {
-    {
-      std::lock_guard<std::mutex> lock(w->mu);
-      w->stop = true;
-    }
-    w->cv.notify_all();
+    w->stop.store(true, std::memory_order_release);
   }
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
 }
 
-void ParallelRecorder::offer(const PacketRecord& p) {
-  batch_.push_back(p);
-  if (batch_.size() >= kBatchSize) flush_batch();
+void ParallelRecorder::offer(const PacketRecord& p, double weight) {
+  RecordOp op;
+  if (!make_record_op(p, weight, op)) return;  // shared extraction, done once
+  pending_.push_back(op);
+  if (pending_.size() >= kProducerBatch) flush_pending();
 }
 
-void ParallelRecorder::flush_batch() {
-  if (batch_.empty()) return;
+void ParallelRecorder::flush_pending() {
+  if (pending_.empty()) return;
   for (auto& w : workers_) {
-    std::lock_guard<std::mutex> lock(w->mu);
-    w->queue.insert(w->queue.end(), batch_.begin(), batch_.end());
-    w->idle = false;
-    w->cv.notify_all();
+    publish(*w, pending_.data(), pending_.size());
   }
-  batch_.clear();
+  pending_.clear();
+}
+
+void ParallelRecorder::publish(Worker& w, const RecordOp* ops,
+                               std::size_t n) {
+  const std::size_t mask = capacity_ - 1;
+  std::size_t tail = w.tail.load(std::memory_order_relaxed);  // we own tail
+  std::size_t pushed = 0;
+  unsigned spins = 0;
+  while (pushed < n) {
+    const std::size_t head = w.head.load(std::memory_order_acquire);
+    const std::size_t space = capacity_ - (tail - head);
+    if (space == 0) {
+      backoff(spins);
+      continue;
+    }
+    spins = 0;
+    const std::size_t take = std::min(space, n - pushed);
+    for (std::size_t i = 0; i < take; ++i) {
+      w.slots[(tail + i) & mask] = ops[pushed + i];
+    }
+    tail += take;
+    pushed += take;
+    w.tail.store(tail, std::memory_order_release);
+  }
 }
 
 void ParallelRecorder::drain() {
-  flush_batch();
+  flush_pending();
   for (auto& w : workers_) {
-    std::unique_lock<std::mutex> lock(w->mu);
-    w->cv.wait(lock, [&w] { return w->idle && w->queue.empty(); });
+    unsigned spins = 0;
+    // head == tail means every published op has been APPLIED (workers only
+    // advance head after record_ops returns), so this is a full barrier.
+    const std::size_t tail = w->tail.load(std::memory_order_relaxed);
+    while (w->head.load(std::memory_order_acquire) != tail) {
+      backoff(spins);
+    }
   }
 }
 
 void ParallelRecorder::run_worker(Worker& w) {
-  std::vector<PacketRecord> local;
+  const std::size_t mask = capacity_ - 1;
+  unsigned spins = 0;
+  std::size_t head = w.head.load(std::memory_order_relaxed);  // we own head
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(w.mu);
-      w.cv.wait(lock, [&w] { return w.stop || !w.queue.empty(); });
-      if (w.queue.empty()) {
-        if (w.stop) return;
-        continue;
+    const std::size_t tail = w.tail.load(std::memory_order_acquire);
+    if (head == tail) {
+      if (w.stop.load(std::memory_order_acquire) &&
+          w.tail.load(std::memory_order_acquire) == head) {
+        return;
       }
-      local.swap(w.queue);
+      backoff(spins);
+      continue;
     }
-    for (const PacketRecord& p : local) {
-      bank_.record_masked(p, w.mask);
-    }
-    local.clear();
-    {
-      std::lock_guard<std::mutex> lock(w.mu);
-      if (w.queue.empty()) {
-        w.idle = true;
-        w.cv.notify_all();
-      }
+    spins = 0;
+    // Consume the published run in at most two contiguous pieces (the run
+    // may wrap the ring's physical end), applying straight from the slots.
+    while (head != tail) {
+      const std::size_t i = head & mask;
+      const std::size_t run = std::min(tail - head, capacity_ - i);
+      bank_.record_ops(std::span<const RecordOp>(&w.slots[i], run),
+                       w.group_mask);
+      head += run;
+      w.head.store(head, std::memory_order_release);
     }
   }
 }

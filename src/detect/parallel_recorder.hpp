@@ -3,10 +3,15 @@
 //
 // The bank's sketches partition into SketchBank::SketchGroup groups with
 // disjoint state; each worker thread owns one or more groups and records
-// every packet into only its groups. Packets are distributed in batches
-// through per-worker queues, so the bank's final state is IDENTICAL to a
-// serial record() of the same stream (each sketch sees every packet exactly
-// once, in order).
+// every packet into only its groups. The producer classifies and
+// key-extracts each packet exactly ONCE into a RecordOp (SYN => +w,
+// SYN-ACK => −w, other => skipped), then publishes batches of ops into one
+// fixed-capacity lock-free SPSC ring buffer per worker. Workers drain their
+// ring through SketchBank::record_ops, the prefetched batch-update path.
+//
+// Because every sketch still sees every op exactly once, in stream order,
+// the bank's final state is BIT-IDENTICAL to a serial record() of the same
+// stream.
 //
 // Usage:
 //   ParallelRecorder rec(bank, 4);
@@ -16,9 +21,9 @@
 //   bank.clear();
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -28,9 +33,17 @@ namespace hifind {
 
 class ParallelRecorder {
  public:
-  /// @param num_threads  worker count, clamped to [1, kNumSketchGroups];
-  ///                     groups are dealt round-robin to workers.
-  ParallelRecorder(SketchBank& bank, unsigned num_threads);
+  /// Default per-worker ring capacity (RecordOps; 4096 * 48 B = 192 KiB).
+  static constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 12;
+
+  /// @param num_threads    worker count, clamped to [1, kNumSketchGroups];
+  ///                       groups are dealt round-robin to workers.
+  /// @param ring_capacity  per-worker SPSC ring capacity, rounded up to a
+  ///                       power of two (>= 2). Small values force frequent
+  ///                       wrap-around/backpressure; tests use them to
+  ///                       exercise those paths.
+  explicit ParallelRecorder(SketchBank& bank, unsigned num_threads,
+                            std::size_t ring_capacity = kDefaultRingCapacity);
 
   /// Stops workers (draining first). The bank remains valid.
   ~ParallelRecorder();
@@ -38,8 +51,9 @@ class ParallelRecorder {
   ParallelRecorder(const ParallelRecorder&) = delete;
   ParallelRecorder& operator=(const ParallelRecorder&) = delete;
 
-  /// Enqueues one packet for recording by every worker.
-  void offer(const PacketRecord& p);
+  /// Enqueues one packet for recording by every worker. `weight` is the
+  /// sampling weight, as in SketchBank::record().
+  void offer(const PacketRecord& p, double weight = 1.0);
 
   /// Blocks until every offered packet has been applied to every group.
   void drain();
@@ -48,24 +62,38 @@ class ParallelRecorder {
     return static_cast<unsigned>(workers_.size());
   }
 
+  std::size_t ring_capacity() const { return capacity_; }
+
  private:
+  /// One worker and its SPSC ring. `head`/`tail` are monotonically
+  /// increasing cursors (slot = cursor & (capacity−1)); the producer owns
+  /// `tail`, the worker owns `head`, and each is cache-line-aligned so the
+  /// two sides never false-share. The worker advances `head` only AFTER
+  /// applying the ops, so head == tail means "fully applied", which is what
+  /// drain() waits on.
   struct Worker {
+    explicit Worker(std::size_t capacity) : slots(capacity) {}
+
+    std::vector<RecordOp> slots;
+    unsigned group_mask{0};
     std::thread thread;
-    unsigned mask{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    std::vector<PacketRecord> queue;      // producer side
-    bool stop{false};
-    bool idle{true};                      // worker has no pending work
+    alignas(64) std::atomic<std::size_t> head{0};  ///< consumer cursor
+    alignas(64) std::atomic<std::size_t> tail{0};  ///< producer cursor
+    alignas(64) std::atomic<bool> stop{false};
   };
 
   void run_worker(Worker& w);
-  void flush_batch();
+  /// Copies `n` ops into `w`'s ring, spinning (then yielding) on
+  /// backpressure. Publishes the whole span with one release store when the
+  /// ring has room, or in as many chunks as backpressure dictates.
+  void publish(Worker& w, const RecordOp* ops, std::size_t n);
+  void flush_pending();
 
   SketchBank& bank_;
+  std::size_t capacity_;  ///< ring capacity, power of two
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::vector<PacketRecord> batch_;  // producer-side buffer
-  static constexpr std::size_t kBatchSize = 1024;
+  std::vector<RecordOp> pending_;  ///< producer-side op batch
+  static constexpr std::size_t kProducerBatch = 256;
 };
 
 }  // namespace hifind

@@ -1,5 +1,7 @@
 #include "detect/sketch_bank.hpp"
 
+#include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace hifind {
@@ -54,38 +56,102 @@ void SketchBank::record(const PacketRecord& p, double weight) {
 
 void SketchBank::record_masked(const PacketRecord& p, unsigned mask,
                                double weight) {
-  const std::int64_t delta_i = syn_delta(p);
-  if (delta_i == 0) return;  // only SYN / SYN-ACK move the detection metric
-  const double delta = static_cast<double>(delta_i) * weight;
+  RecordOp op;
+  // Only SYN / SYN-ACK move the detection metric.
+  if (!make_record_op(p, weight, op)) return;
+  record_op(op, mask);
+}
 
-  const std::uint64_t k_sip_dport = extract_key(KeyKind::SipDport, p);
-  const std::uint64_t k_dip_dport = extract_key(KeyKind::DipDport, p);
-  const std::uint64_t k_sip_dip = extract_key(KeyKind::SipDip, p);
-
-  if (mask & kGroupRsSipDport) rs_sip_dport_.update(k_sip_dport, delta);
-  if (mask & kGroupRsDipDport) rs_dip_dport_.update(k_dip_dport, delta);
-  if (mask & kGroupRsSipDip) rs_sip_dip_.update(k_sip_dip, delta);
+void SketchBank::record_op(const RecordOp& op, unsigned mask) {
+  if (mask & kGroupRsSipDport) rs_sip_dport_.update(op.k_sip_dport, op.delta);
+  if (mask & kGroupRsDipDport) rs_dip_dport_.update(op.k_dip_dport, op.delta);
+  if (mask & kGroupRsSipDip) rs_sip_dip_.update(op.k_sip_dip, op.delta);
   if (mask & kGroupVerification) {
-    verif_sip_dport_.update(k_sip_dport, delta);
-    verif_dip_dport_.update(k_dip_dport, delta);
-    verif_sip_dip_.update(k_sip_dip, delta);
+    verif_sip_dport_.update(op.k_sip_dport, op.delta);
+    verif_dip_dport_.update(op.k_dip_dport, op.delta);
+    verif_sip_dip_.update(op.k_sip_dip, op.delta);
   }
   if (mask & kGroupOsAndHistory) {
-    if (delta_i > 0) {
-      os_dip_dport_.update(k_dip_dport, weight);  // OS records #SYN only
+    if (op.syn) {
+      os_dip_dport_.update(op.k_dip_dport, op.weight);  // OS: #SYN only
     } else {
-      synack_history_.update(k_dip_dport, weight);  // lifetime activity
+      synack_history_.update(op.k_dip_dport, op.weight);  // lifetime activity
     }
   }
   if (mask & kGroupTwoD) {
     // 2D sketches: secondary dimension is the field the primary aggregates
     // out.
-    twod_sipdip_dport_.update(k_sip_dip, unpack_key_port(k_sip_dport), delta);
-    twod_sipdport_dip_.update(k_sip_dport,
-                              std::uint64_t{unpack_key_ip(k_dip_dport).addr},
-                              delta);
+    twod_sipdip_dport_.update(op.k_sip_dip, unpack_key_port(op.k_sip_dport),
+                              op.delta);
+    twod_sipdport_dip_.update(
+        op.k_sip_dport, std::uint64_t{unpack_key_ip(op.k_dip_dport).addr},
+        op.delta);
   }
   if (mask & kGroupMeta) ++packets_recorded_;
+}
+
+void SketchBank::record_ops(std::span<const RecordOp> ops, unsigned mask) {
+  // Per-chunk operand staging, sketch by sketch: each sketch's update_batch
+  // receives the ops in stream order, so counters and stage sums accumulate
+  // in exactly the serial order (bit-identical to record_op per op).
+  constexpr std::size_t kChunk = 128;
+  std::array<KeyDelta, kChunk> kd;
+  std::array<KeyDelta2d, kChunk> kd2;
+  for (std::size_t base = 0; base < ops.size(); base += kChunk) {
+    const std::span<const RecordOp> chunk = ops.subspan(
+        base, std::min(kChunk, ops.size() - base));
+    const std::size_t n = chunk.size();
+    auto fill_1d = [&](std::uint64_t RecordOp::* key) {
+      for (std::size_t j = 0; j < n; ++j) {
+        kd[j] = {chunk[j].*key, chunk[j].delta};
+      }
+      return std::span<const KeyDelta>(kd.data(), n);
+    };
+    if (mask & kGroupRsSipDport) {
+      rs_sip_dport_.update_batch(fill_1d(&RecordOp::k_sip_dport));
+    }
+    if (mask & kGroupRsDipDport) {
+      rs_dip_dport_.update_batch(fill_1d(&RecordOp::k_dip_dport));
+    }
+    if (mask & kGroupRsSipDip) {
+      rs_sip_dip_.update_batch(fill_1d(&RecordOp::k_sip_dip));
+    }
+    if (mask & kGroupVerification) {
+      verif_sip_dport_.update_batch(fill_1d(&RecordOp::k_sip_dport));
+      verif_dip_dport_.update_batch(fill_1d(&RecordOp::k_dip_dport));
+      verif_sip_dip_.update_batch(fill_1d(&RecordOp::k_sip_dip));
+    }
+    if (mask & kGroupOsAndHistory) {
+      // Split by direction; each subsequence keeps stream order.
+      std::size_t m = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (chunk[j].syn) kd[m++] = {chunk[j].k_dip_dport, chunk[j].weight};
+      }
+      os_dip_dport_.update_batch(std::span<const KeyDelta>(kd.data(), m));
+      m = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!chunk[j].syn) kd[m++] = {chunk[j].k_dip_dport, chunk[j].weight};
+      }
+      synack_history_.update_batch(std::span<const KeyDelta>(kd.data(), m));
+    }
+    if (mask & kGroupTwoD) {
+      for (std::size_t j = 0; j < n; ++j) {
+        kd2[j] = {chunk[j].k_sip_dip,
+                  std::uint64_t{unpack_key_port(chunk[j].k_sip_dport)},
+                  chunk[j].delta};
+      }
+      twod_sipdip_dport_.update_batch(
+          std::span<const KeyDelta2d>(kd2.data(), n));
+      for (std::size_t j = 0; j < n; ++j) {
+        kd2[j] = {chunk[j].k_sip_dport,
+                  std::uint64_t{unpack_key_ip(chunk[j].k_dip_dport).addr},
+                  chunk[j].delta};
+      }
+      twod_sipdport_dip_.update_batch(
+          std::span<const KeyDelta2d>(kd2.data(), n));
+    }
+    if (mask & kGroupMeta) packets_recorded_ += n;
+  }
 }
 
 void SketchBank::clear() {

@@ -81,6 +81,18 @@ class SketchBank {
   void record_masked(const PacketRecord& p, unsigned mask,
                      double weight = 1.0);
 
+  /// Applies one precomputed RecordOp to the sketch groups in `mask`.
+  /// record_masked(p, mask, w) is make_record_op(p, w, op) + record_op(op,
+  /// mask); the split lets a producer classify/extract once for many
+  /// consumers (parallel recording, paper Sec. 5.5.3).
+  void record_op(const RecordOp& op, unsigned mask);
+
+  /// Applies a batch of RecordOps to the sketch groups in `mask`, feeding
+  /// each sketch through its prefetched update_batch path. Final bank state
+  /// is BIT-IDENTICAL to record_op per op in order: every sketch sees the
+  /// same deltas in the same sequence.
+  void record_ops(std::span<const RecordOp> ops, unsigned mask);
+
   /// Resets per-interval counters for the next interval; hash families and
   /// the cumulative service-activity history persist.
   void clear();

@@ -86,4 +86,34 @@ constexpr std::int64_t syn_delta(const PacketRecord& p) {
   return 0;
 }
 
+/// One precomputed recording operation: everything every sketch in a bank
+/// needs from one SYN / SYN-ACK packet, classified and key-extracted exactly
+/// once. The parallel recording pipeline ships RecordOps (not packets) to its
+/// workers, so no worker re-derives keys its siblings already derived; the
+/// 2D secondary dimensions (Dport, DIP) are unpacked from the stored keys.
+struct RecordOp {
+  std::uint64_t k_sip_dport;  ///< {SIP, Dport}, 48-bit packed
+  std::uint64_t k_dip_dport;  ///< {DIP, Dport}, 48-bit packed
+  std::uint64_t k_sip_dip;    ///< {SIP, DIP}, 64-bit packed
+  double delta;               ///< syn_delta * weight (what the RS/2D record)
+  double weight;              ///< sampling weight (what the OS/history record)
+  bool syn;                   ///< true: SYN (OS side); false: SYN-ACK (history)
+};
+
+/// Classifies and key-extracts one packet. Returns false — leaving `out`
+/// untouched — for packets that move no sketch state (non-SYN/SYN-ACK),
+/// mirroring the early-out in serial recording.
+constexpr bool make_record_op(const PacketRecord& p, double weight,
+                              RecordOp& out) {
+  const std::int64_t delta_i = syn_delta(p);
+  if (delta_i == 0) return false;
+  out.k_sip_dport = extract_key(KeyKind::SipDport, p);
+  out.k_dip_dport = extract_key(KeyKind::DipDport, p);
+  out.k_sip_dip = extract_key(KeyKind::SipDip, p);
+  out.delta = static_cast<double>(delta_i) * weight;
+  out.weight = weight;
+  out.syn = delta_i > 0;
+  return true;
+}
+
 }  // namespace hifind

@@ -25,7 +25,8 @@ KarySketch::KarySketch(const KarySketchConfig& config) : config_(config) {
   }
   hashes_.reserve(config_.num_stages);
   for (std::size_t h = 0; h < config_.num_stages; ++h) {
-    hashes_.emplace_back(mix64(config_.seed) ^ mix64(h + 0x9e37u));
+    hashes_.emplace_back(mix64(config_.seed) ^ mix64(h + 0x9e37u),
+                         config_.num_buckets);
   }
   counters_.assign(config_.num_stages * config_.num_buckets, 0.0);
   stage_sums_.assign(config_.num_stages, 0.0);
@@ -37,6 +38,38 @@ void KarySketch::update(std::uint64_t key, double delta) {
     stage_sums_[h] += delta;
   }
   ++update_count_;
+}
+
+void KarySketch::update_batch(std::span<const KeyDelta> ops) {
+  // Small index block: indices for kBlock operands across all stages. The
+  // index pass issues prefetches; the apply pass then mostly hits cache.
+  constexpr std::size_t kBlock = 32;
+  constexpr std::size_t kMaxStagesInBlock = 16;
+  const std::size_t H = config_.num_stages;
+  if (H > kMaxStagesInBlock) {  // exotic shapes: plain scalar path
+    for (const auto& op : ops) update(op.key, op.delta);
+    return;
+  }
+  std::size_t idx[kBlock * kMaxStagesInBlock];
+  for (std::size_t base = 0; base < ops.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, ops.size() - base);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t key = ops[base + j].key;
+      for (std::size_t h = 0; h < H; ++h) {
+        const std::size_t i = bucket_index(h, key);
+        idx[j * H + h] = i;
+        prefetch_write(&counters_[i]);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const double delta = ops[base + j].delta;
+      for (std::size_t h = 0; h < H; ++h) {
+        counters_[idx[j * H + h]] += delta;
+        stage_sums_[h] += delta;
+      }
+    }
+    update_count_ += n;
+  }
 }
 
 double KarySketch::estimate(std::uint64_t key) const {

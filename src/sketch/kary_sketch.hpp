@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "sketch/sketch_ops.hpp"
 
 namespace hifind {
 
@@ -36,6 +37,12 @@ class KarySketch {
 
   /// Adds `delta` to the key's counter in every stage. O(H).
   void update(std::uint64_t key, double delta);
+
+  /// Applies a block of updates: hashes every operand's bucket indices first
+  /// (prefetching the counter lines), then applies the deltas. Bit-identical
+  /// to calling update() per operand in order, but overlaps hash computation
+  /// with counter-memory latency across the block.
+  void update_batch(std::span<const KeyDelta> ops);
 
   /// Mean-corrected median estimate of the key's aggregate value:
   /// per stage, (bucket − sum/K) / (1 − 1/K); the median over stages.
@@ -98,8 +105,9 @@ class KarySketch {
 
  private:
   std::size_t bucket_index(std::size_t stage, std::uint64_t key) const {
-    return stage * config_.num_buckets +
-           hashes_[stage].bucket(key, config_.num_buckets);
+    // Stage hashes are constructed with the bucket count, so this dispatches
+    // to the power-of-two shift fast path for every standard config.
+    return stage * config_.num_buckets + hashes_[stage].bucket(key);
   }
 
   KarySketchConfig config_;

@@ -1,12 +1,14 @@
 #include "sketch/reversible_sketch.hpp"
 
 #include <algorithm>
+#include <array>
+#include <span>
 #include <stdexcept>
 
 namespace hifind {
 namespace {
 
-double median_of(std::vector<double>& v) {
+double median_of(std::span<double> v) {
   const std::size_t n = v.size();
   const std::size_t mid = n / 2;
   std::nth_element(v.begin(), v.begin() + mid, v.end());
@@ -26,8 +28,9 @@ ReversibleSketch::ReversibleSketch(const ReversibleSketchConfig& config)
     throw std::invalid_argument(
         "ReversibleSketch key_bits must be a multiple of 8 in [8,64]");
   }
-  if (config_.num_stages == 0) {
-    throw std::invalid_argument("ReversibleSketch needs >=1 stage");
+  if (config_.num_stages == 0 || config_.num_stages > kMaxStages) {
+    throw std::invalid_argument(
+        "ReversibleSketch needs between 1 and kMaxStages stages");
   }
   if (config_.bucket_bits < 1 || config_.bucket_bits > 28 ||
       config_.bucket_bits % config_.num_words() != 0) {
@@ -73,16 +76,44 @@ void ReversibleSketch::update(std::uint64_t key, double delta) {
   ++update_count_;
 }
 
+void ReversibleSketch::update_batch(std::span<const KeyDelta> ops) {
+  constexpr std::size_t kBlock = 16;
+  const std::size_t H = config_.num_stages;
+  std::size_t idx[kBlock * kMaxStages];
+  for (std::size_t base = 0; base < ops.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, ops.size() - base);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t mangled = mangler_.mangle(ops[base + j].key);
+      for (std::size_t h = 0; h < H; ++h) {
+        const std::size_t i =
+            h * config_.num_buckets() + index_of_mangled(h, mangled);
+        idx[j * H + h] = i;
+        prefetch_write(&counters_[i]);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const double delta = ops[base + j].delta;
+      for (std::size_t h = 0; h < H; ++h) {
+        counters_[idx[j * H + h]] += delta;
+        stage_sums_[h] += delta;
+      }
+    }
+    update_count_ += n;
+  }
+}
+
 double ReversibleSketch::estimate(std::uint64_t key) const {
   const std::uint64_t mangled = mangler_.mangle(key);
   const double k = static_cast<double>(config_.num_buckets());
-  std::vector<double> est(config_.num_stages);
+  // Fixed scratch: estimate() sits on the detection inner loop (every
+  // candidate the inference engine screens), so no per-call allocation.
+  std::array<double, kMaxStages> est{};
   for (std::size_t h = 0; h < config_.num_stages; ++h) {
     const double bucket =
         counters_[h * config_.num_buckets() + index_of_mangled(h, mangled)];
     est[h] = (bucket - stage_sums_[h] / k) / (1.0 - 1.0 / k);
   }
-  return median_of(est);
+  return median_of(std::span<double>(est.data(), config_.num_stages));
 }
 
 void ReversibleSketch::accumulate(const ReversibleSketch& other,

@@ -22,6 +22,7 @@
 
 #include "common/hash.hpp"
 #include "common/mangler.hpp"
+#include "sketch/sketch_ops.hpp"
 
 namespace hifind {
 
@@ -41,14 +42,24 @@ struct ReversibleSketchConfig {
 
 class ReversibleSketch {
  public:
-  /// Validates the shape (word divisibility) and builds the hash family.
-  /// Throws std::invalid_argument on inconsistent parameters.
+  /// Hard upper bound on stages; lets hot paths use fixed stack scratch
+  /// instead of heap allocation. All paper configs use H = 6.
+  static constexpr std::size_t kMaxStages = 8;
+
+  /// Validates the shape (word divisibility, stages <= kMaxStages) and builds
+  /// the hash family. Throws std::invalid_argument on inconsistent parameters.
   explicit ReversibleSketch(const ReversibleSketchConfig& config);
 
   /// Adds `delta` to the key's bucket in every stage. O(H * q) word-hash
   /// lookups but exactly H counter memory accesses — the figure the paper
   /// reports in Sec. 5.5.2.
   void update(std::uint64_t key, double delta);
+
+  /// Applies a block of updates: mangles + modular-hashes every operand
+  /// first (prefetching the counter lines), then applies the deltas.
+  /// Bit-identical to calling update() per operand in order; the word-hash
+  /// work of later keys overlaps the counter-memory latency of earlier ones.
+  void update_batch(std::span<const KeyDelta> ops);
 
   /// Mean-corrected median estimate (same estimator as the k-ary sketch).
   double estimate(std::uint64_t key) const;

@@ -15,8 +15,10 @@ TwoDSketch::TwoDSketch(const Sketch2dConfig& config) : config_(config) {
   x_hashes_.reserve(config_.num_stages);
   y_hashes_.reserve(config_.num_stages);
   for (std::size_t h = 0; h < config_.num_stages; ++h) {
-    x_hashes_.emplace_back(mix64(config_.seed) ^ mix64(0x1000 + h));
-    y_hashes_.emplace_back(mix64(config_.seed) ^ mix64(0x2000 + h));
+    x_hashes_.emplace_back(mix64(config_.seed) ^ mix64(0x1000 + h),
+                           config_.x_buckets);
+    y_hashes_.emplace_back(mix64(config_.seed) ^ mix64(0x2000 + h),
+                           config_.y_buckets);
   }
   cells_.assign(config_.num_stages * config_.x_buckets * config_.y_buckets,
                 0.0);
@@ -28,6 +30,35 @@ void TwoDSketch::update(std::uint64_t x_key, std::uint64_t y_key,
     cells_[cell_index(h, x_key, y_key)] += delta;
   }
   ++update_count_;
+}
+
+void TwoDSketch::update_batch(std::span<const KeyDelta2d> ops) {
+  constexpr std::size_t kBlock = 32;
+  constexpr std::size_t kMaxStagesInBlock = 16;
+  const std::size_t H = config_.num_stages;
+  if (H > kMaxStagesInBlock) {
+    for (const auto& op : ops) update(op.x_key, op.y_key, op.delta);
+    return;
+  }
+  std::size_t idx[kBlock * kMaxStagesInBlock];
+  for (std::size_t base = 0; base < ops.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, ops.size() - base);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto& op = ops[base + j];
+      for (std::size_t h = 0; h < H; ++h) {
+        const std::size_t i = cell_index(h, op.x_key, op.y_key);
+        idx[j * H + h] = i;
+        prefetch_write(&cells_[i]);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const double delta = ops[base + j].delta;
+      for (std::size_t h = 0; h < H; ++h) {
+        cells_[idx[j * H + h]] += delta;
+      }
+    }
+    update_count_ += n;
+  }
 }
 
 std::vector<double> TwoDSketch::column(std::size_t stage,

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "sketch/sketch_ops.hpp"
 
 namespace hifind {
 
@@ -47,6 +48,11 @@ class TwoDSketch {
 
   /// Adds `delta` at (x_key, y_key): one cell per matrix.
   void update(std::uint64_t x_key, std::uint64_t y_key, double delta);
+
+  /// Applies a block of updates: hashes every operand's cell indices first
+  /// (prefetching the cell lines), then applies the deltas. Bit-identical to
+  /// calling update() per operand in order.
+  void update_batch(std::span<const KeyDelta2d> ops);
 
   /// The column selected by x_key in one matrix: Ky cell values.
   std::vector<double> column(std::size_t stage, std::uint64_t x_key) const;
@@ -96,8 +102,9 @@ class TwoDSketch {
  private:
   std::size_t cell_index(std::size_t stage, std::uint64_t x_key,
                          std::uint64_t y_key) const {
-    const std::size_t col = x_hashes_[stage].bucket(x_key, config_.x_buckets);
-    const std::size_t row = y_hashes_[stage].bucket(y_key, config_.y_buckets);
+    // Hashes carry their bucket counts (power-of-two fast path applies).
+    const std::size_t col = x_hashes_[stage].bucket(x_key);
+    const std::size_t row = y_hashes_[stage].bucket(y_key);
     return (stage * config_.x_buckets + col) * config_.y_buckets + row;
   }
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <string>
+#include <vector>
+
 #include "../testing/synthetic.hpp"
 
 namespace hifind {
@@ -103,6 +107,111 @@ TEST(ParallelRecorderTest, DrainOnEmptyIsImmediate) {
   rec.drain();
   rec.drain();
   EXPECT_EQ(bank.packets_recorded(), 0u);
+}
+
+// Tentpole determinism guarantee: the lock-free pipeline must be
+// BIT-identical (==, not ULP-tolerant) to serial record() for every thread
+// count and ring capacity — including rings far smaller than the producer's
+// publish batch, which force wrap-around and backpressure on every flush.
+struct PipelineCase {
+  unsigned threads;
+  std::size_t ring_capacity;
+};
+
+class PipelineDeterminism : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineDeterminism, BitIdenticalToSerialUnderAdversarialBatching) {
+  const auto [threads, ring_capacity] = GetParam();
+  Pcg32 stream_rng(0xfeedULL * threads + ring_capacity);
+  const auto stream =
+      mixed_stream(12000 + static_cast<int>(stream_rng.bounded(5000)),
+                   stream_rng.next64());
+
+  SketchBank serial(cfg());
+  for (const auto& p : stream) serial.record(p);
+
+  SketchBank parallel(cfg());
+  {
+    ParallelRecorder rec(parallel, threads, ring_capacity);
+    // Interleave offers with mid-stream drains at random points so partially
+    // filled producer batches and empty-ring idling both get exercised.
+    std::size_t next_drain = 1 + stream_rng.bounded(4096);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      rec.offer(stream[i]);
+      if (i == next_drain) {
+        rec.drain();
+        next_drain += 1 + stream_rng.bounded(4096);
+      }
+    }
+    rec.drain();
+  }
+
+  EXPECT_EQ(parallel.packets_recorded(), serial.packets_recorded());
+  auto expect_bit_identical = [](std::span<const double> a,
+                                 std::span<const double> b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "counter " << i;
+    }
+  };
+  expect_bit_identical(parallel.rs_sip_dport().counters(),
+                       serial.rs_sip_dport().counters());
+  expect_bit_identical(parallel.rs_dip_dport().counters(),
+                       serial.rs_dip_dport().counters());
+  expect_bit_identical(parallel.rs_sip_dip().counters(),
+                       serial.rs_sip_dip().counters());
+  expect_bit_identical(parallel.verif_sip_dport().counters(),
+                       serial.verif_sip_dport().counters());
+  expect_bit_identical(parallel.verif_dip_dport().counters(),
+                       serial.verif_dip_dport().counters());
+  expect_bit_identical(parallel.verif_sip_dip().counters(),
+                       serial.verif_sip_dip().counters());
+  expect_bit_identical(parallel.os_dip_dport().counters(),
+                       serial.os_dip_dport().counters());
+  expect_bit_identical(parallel.twod_sipdip_dport().cells(),
+                       serial.twod_sipdip_dport().cells());
+  expect_bit_identical(parallel.twod_sipdport_dip().cells(),
+                       serial.twod_sipdport_dip().cells());
+  expect_bit_identical(parallel.synack_history().counters(),
+                       serial.synack_history().counters());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndRings, PipelineDeterminism,
+    ::testing::Values(PipelineCase{1, 8}, PipelineCase{2, 8},
+                      PipelineCase{4, 16}, PipelineCase{7, 8},
+                      PipelineCase{2, 64}, PipelineCase{4, 1024},
+                      PipelineCase{7, ParallelRecorder::kDefaultRingCapacity}),
+    [](const auto& info) {
+      return "t" + std::to_string(info.param.threads) + "_ring" +
+             std::to_string(info.param.ring_capacity);
+    });
+
+TEST(PipelineDeterminismTest, WeightedOffersMatchWeightedSerialRecord) {
+  const auto stream = mixed_stream(6000, 21);
+  Pcg32 rng(33);
+  std::vector<double> weights(stream.size());
+  for (auto& w : weights) w = 1.0 / (1.0 + rng.bounded(16));
+
+  SketchBank serial(cfg());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    serial.record(stream[i], weights[i]);
+  }
+  SketchBank parallel(cfg());
+  {
+    ParallelRecorder rec(parallel, 4, 32);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      rec.offer(stream[i], weights[i]);
+    }
+    rec.drain();
+  }
+  EXPECT_EQ(parallel.packets_recorded(), serial.packets_recorded());
+  const auto a = serial.os_dip_dport().counters();
+  const auto b = parallel.os_dip_dport().counters();
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  const auto c = serial.rs_sip_dip().counters();
+  const auto d = parallel.rs_sip_dip().counters();
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_EQ(c[i], d[i]);
 }
 
 TEST(RecordMaskedTest, GroupsPartitionTheBank) {
