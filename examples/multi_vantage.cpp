@@ -9,6 +9,12 @@
 // IDENTICAL to a hypothetical single router seeing everything, while a
 // per-flow IDS (TRW) run per-router degrades badly.
 //
+// A second act covers the imperfect network: the same trace collected
+// through the resilient layer (router/collector.hpp) while router 2
+// suffers a three-interval outage. Detection keeps running on the rescaled
+// partial sums, and every interval's CoverageReport says exactly which
+// routers made it into the combine.
+//
 // Build & run:  ./build/examples/multi_vantage
 #include <iostream>
 #include <set>
@@ -16,7 +22,9 @@
 #include "baseline/trw.hpp"
 #include "core/pipeline.hpp"
 #include "gen/scenario.hpp"
+#include "router/collector.hpp"
 #include "router/distributed.hpp"
+#include "router/faulty_channel.hpp"
 
 int main() {
   using namespace hifind;
@@ -91,5 +99,60 @@ int main() {
             << ", per-router sum under load balancing: " << split_sips.size()
             << " (the inflation is benign traffic whose handshake halves "
                "landed on different routers).\n";
+
+  // Act two: the same trace through the fault-tolerant collection layer,
+  // with router 2 dark for three intervals mid-trace. Banks travel as
+  // checksummed HFB2 frames through a FaultyChannel; the collector waits
+  // out stragglers, then finalizes on the partial sum and says so.
+  std::cout << "\n--- resilient collection with an injected outage ---\n";
+  DistributedMonitor edge(3, pc.bank, pc.detector);
+  FaultyChannel channel(3, /*seed=*/7);
+  ResilientAggregator central(
+      [] {
+        CollectorConfig c;
+        c.num_routers = 3;
+        c.deadline_polls = 1;
+        return c;
+      }(),
+      pc.bank, pc.detector,
+      [&channel](std::size_t router, std::uint64_t iv) {
+        return channel.fetch(router, iv);
+      });
+
+  auto ship_boundary = [&](std::uint64_t iv) {
+    for (std::size_t r = 0; r < edge.num_routers(); ++r) {
+      channel.ship(r, iv, edge.ship_and_clear(r, iv));
+    }
+    channel.advance_to(iv);
+    for (const IntervalResult& res : central.end_interval(iv)) {
+      std::cout << "interval " << res.interval << ": "
+                << res.coverage.describe() << ", " << res.final.size()
+                << " alert(s)\n";
+      for (const Alert& a : res.final) std::cout << "    " << a.describe()
+                                                 << '\n';
+    }
+  };
+
+  started = false;
+  interval = 0;
+  for (const auto& p : scenario.trace.packets()) {
+    const std::uint64_t iv = clock.interval_of(p.ts);
+    if (!started) {
+      interval = iv;
+      started = true;
+      // Router 2 goes dark for three intervals in the middle of the trace.
+      channel.set_outage(2, iv + 3, iv + 5);
+    }
+    while (interval < iv) ship_boundary(interval++);
+    edge.feed(p);
+  }
+  ship_boundary(interval);
+  ship_boundary(interval + 1);  // flush the last interval past its deadline
+
+  const auto& stats = central.collector().stats();
+  std::cout << "collector: " << stats.frames_received << " frames received, "
+            << stats.intervals_degraded
+            << " interval(s) finalized degraded — detection never stopped, "
+               "and every degraded interval is labeled.\n";
   return 0;
 }

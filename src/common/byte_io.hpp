@@ -75,17 +75,24 @@ class ByteReader {
   }
   std::vector<double> f64_vector() {
     const std::uint64_t n = u64();
-    need(n * 8);
+    // Divide instead of multiplying (n * 8 can wrap for corrupt counts).
+    if (n > (data_.size() - pos_) / 8) {
+      throw std::runtime_error("ByteReader: truncated input");
+    }
     std::vector<double> out(n);
     for (auto& v : out) v = f64();
     return out;
   }
 
   bool exhausted() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
 
  private:
   void need(std::uint64_t n) const {
-    if (pos_ + n > data_.size()) {
+    // Compare against the remaining span instead of `pos_ + n` so an
+    // attacker-controlled length (e.g. a corrupted element count, n = count *
+    // 8) cannot wrap std::uint64_t and sneak past the bound.
+    if (n > data_.size() - pos_) {
       throw std::runtime_error("ByteReader: truncated input");
     }
   }

@@ -1,9 +1,63 @@
 #include "common/hash.hpp"
 
 #include <bit>
+#include <cstring>
 #include <stdexcept>
 
 namespace hifind {
+namespace {
+
+/// Slicing-by-4 tables for CRC-32C, built once at first use. Table 0 is the
+/// classic byte-at-a-time table; tables 1-3 fold 4 input bytes per step.
+struct Crc32cTables {
+  std::uint32_t t[4][256];
+
+  Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82f63b78u;  // 0x1EDC6F41 reflected
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (c >> 1) ^ kPoly : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  static const Crc32cTables tables;
+  const auto& t = tables.t;
+  std::uint32_t c = ~crc;
+  std::size_t i = 0;
+#if defined(__SSE4_2__)
+  for (; i + 8 <= data.size(); i += 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, data.data() + i, 8);
+    c = static_cast<std::uint32_t>(
+        __builtin_ia32_crc32di(c, chunk));
+  }
+#else
+  for (; i + 4 <= data.size(); i += 4) {
+    c ^= static_cast<std::uint32_t>(data[i]) |
+         (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    c = t[3][c & 0xff] ^ t[2][(c >> 8) & 0xff] ^ t[1][(c >> 16) & 0xff] ^
+        t[0][c >> 24];
+  }
+#endif
+  for (; i < data.size(); ++i) {
+    c = (c >> 8) ^ t[0][(c ^ data[i]) & 0xff];
+  }
+  return ~c;
+}
 
 TabulationHash::TabulationHash(std::uint64_t seed) {
   Pcg32 rng(mix64(seed), mix64(seed ^ 0x7462bea6d89c4a1dULL));

@@ -13,11 +13,21 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
 
 namespace hifind {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) over a byte span.
+/// This is the iSCSI/RFC 3720 checksum that guards the HFB2 sketch-shipment
+/// frames: it detects every single- and double-bit error and all burst errors
+/// up to 32 bits, which covers the corruption modes a router->central link
+/// realistically produces. `crc` chains across calls (pass the previous
+/// return value to continue a running checksum).
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t crc = 0);
 
 /// SplitMix64 finalizer: a fast, well-distributed 64 -> 64 bit mixer.
 /// Used for seeding and for cheap non-reversible key scrambling.

@@ -25,6 +25,23 @@ std::string Alert::describe() const {
          std::to_string(interval);
 }
 
+std::string CoverageReport::describe() const {
+  if (!degraded) {
+    return "coverage " + std::to_string(routers_combined.empty()
+                                            ? routers_total
+                                            : routers_combined.size()) +
+           "/" + std::to_string(routers_total) + " (clean)";
+  }
+  std::string out = "coverage " + std::to_string(routers_combined.size()) +
+                    "/" + std::to_string(routers_total) + " DEGRADED, missing{";
+  for (std::size_t i = 0; i < routers_missing.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(routers_missing[i]);
+  }
+  out += '}';
+  return out;
+}
+
 std::size_t IntervalResult::count(const std::vector<Alert>& alerts,
                                   AttackType type) {
   return static_cast<std::size_t>(

@@ -45,6 +45,28 @@ struct Alert {
   std::string describe() const;
 };
 
+/// How much of the traffic the interval's combined bank actually covers.
+///
+/// Under distributed collection (paper Sec. 3.1) the central site COMBINEs
+/// per-router banks; routers can fail, lag past the collection deadline, or
+/// be quarantined for shipping corrupt frames, in which case detection runs
+/// on the partial sum with its inputs rescaled by the covered fraction. The
+/// report lets alert consumers distinguish "clean interval" from "detected
+/// under 7/8 coverage". A default-constructed report means a single-vantage
+/// interval: full coverage, nothing distributed.
+struct CoverageReport {
+  std::size_t routers_total{1};
+  std::vector<std::uint32_t> routers_combined;  ///< banks in the sum (sorted)
+  std::vector<std::uint32_t> routers_missing;   ///< lost/late/quarantined
+  /// Fraction of traffic the combined bank covers, estimated as
+  /// |combined| / total under the uniform per-packet split the router layer
+  /// load-balances with. 1.0 for clean intervals, 0.0 when nothing arrived.
+  double fraction{1.0};
+  bool degraded{false};  ///< true iff any expected bank was not combined
+
+  std::string describe() const;
+};
+
 /// Phase-by-phase outcome of one detection interval (paper Table 4 layout):
 /// raw three-step output, after 2D-sketch scan screening, after the SYN-flood
 /// false-positive heuristics.
@@ -53,6 +75,9 @@ struct IntervalResult {
   std::vector<Alert> raw;       ///< Phase 1
   std::vector<Alert> after_2d;  ///< Phase 2
   std::vector<Alert> final;     ///< Phase 3
+  /// Collection quality behind this interval's bank; defaults to the clean
+  /// single-vantage report.
+  CoverageReport coverage;
 
   /// Count of alerts of a type within one phase's list.
   static std::size_t count(const std::vector<Alert>& alerts, AttackType type);

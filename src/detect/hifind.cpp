@@ -1,6 +1,7 @@
 #include "detect/hifind.hpp"
 
 #include <unordered_set>
+#include <utility>
 
 namespace hifind {
 namespace {
@@ -63,6 +64,14 @@ IntervalResult HifindDetector::process(const SketchBank& bank,
   result.final = config_.enable_phase3
                      ? phase3(bank, e_os ? &*e_os : nullptr, result.after_2d)
                      : result.after_2d;
+  return result;
+}
+
+IntervalResult HifindDetector::process(const SketchBank& bank,
+                                       std::uint64_t interval,
+                                       CoverageReport coverage) {
+  IntervalResult result = process(bank, interval);
+  result.coverage = std::move(coverage);
   return result;
 }
 

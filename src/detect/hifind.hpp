@@ -73,6 +73,15 @@ class HifindDetector {
   /// The first interval only primes the forecasters and returns no alerts.
   IntervalResult process(const SketchBank& bank, std::uint64_t interval);
 
+  /// As above, stamping the result with the collection-coverage report the
+  /// aggregation layer observed for this interval. The caller is expected to
+  /// have already rescaled a partial-coverage bank by 1/coverage (sketch
+  /// linearity makes that an unbiased full-traffic estimate, which keeps the
+  /// forecasters' time series on a consistent scale across degraded and
+  /// clean intervals — see router/collector.hpp).
+  IntervalResult process(const SketchBank& bank, std::uint64_t interval,
+                         CoverageReport coverage);
+
   /// Drops all time-series state (new trace).
   void reset();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <span>
 
 namespace hifind {
@@ -97,6 +98,11 @@ void ParallelRecorder::publish(Worker& w, const RecordOp* ops,
 }
 
 void ParallelRecorder::drain() {
+  // Spin budget before escalating: pause-spins cover the "worker is mid
+  // batch" window, yields cover oversubscription; past both we sleep so a
+  // wedged worker cannot make drain() burn a core indefinitely.
+  constexpr unsigned kSpinBudget = 256;
+  constexpr unsigned kYieldBudget = 1024;
   flush_pending();
   for (auto& w : workers_) {
     unsigned spins = 0;
@@ -104,7 +110,21 @@ void ParallelRecorder::drain() {
     // advance head after record_ops returns), so this is a full barrier.
     const std::size_t tail = w->tail.load(std::memory_order_relaxed);
     while (w->head.load(std::memory_order_acquire) != tail) {
-      backoff(spins);
+      if (spins < kSpinBudget) {
+        ++spins;
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield");
+#endif
+      } else if (spins < kSpinBudget + kYieldBudget) {
+        ++spins;
+        drain_spin_yields_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      } else {
+        drain_spin_yields_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
     }
   }
 }

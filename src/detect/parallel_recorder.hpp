@@ -56,7 +56,20 @@ class ParallelRecorder {
   void offer(const PacketRecord& p, double weight = 1.0);
 
   /// Blocks until every offered packet has been applied to every group.
+  ///
+  /// Waiting escalates: a short pause-spin burst (the common case — workers
+  /// are about to catch up), then thread yields, then short sleeps. The
+  /// escalation bounds the cost of a wedged or descheduled worker: drain()
+  /// still blocks (it is a correctness barrier), but it stops burning a core
+  /// while it waits.
   void drain();
+
+  /// Times drain() exhausted its spin budget and had to yield or sleep.
+  /// Stays 0 when workers keep up; a growing value under steady load means
+  /// the consumer side is the bottleneck (or a worker is wedged).
+  std::uint64_t drain_spin_yields() const {
+    return drain_spin_yields_.load(std::memory_order_relaxed);
+  }
 
   unsigned num_threads() const {
     return static_cast<unsigned>(workers_.size());
@@ -93,6 +106,7 @@ class ParallelRecorder {
   std::size_t capacity_;  ///< ring capacity, power of two
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<RecordOp> pending_;  ///< producer-side op batch
+  std::atomic<std::uint64_t> drain_spin_yields_{0};
   static constexpr std::size_t kProducerBatch = 256;
 };
 

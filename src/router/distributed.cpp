@@ -1,6 +1,9 @@
 #include "router/distributed.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "detect/sketch_wire.hpp"
 
 namespace hifind {
 
@@ -30,9 +33,25 @@ IntervalResult DistributedMonitor::end_interval(std::uint64_t interval) {
   terms.reserve(banks_.size());
   for (const SketchBank& b : banks_) terms.emplace_back(1.0, &b);
   const SketchBank combined = SketchBank::combine(terms);
-  IntervalResult result = detector_.process(combined, interval);
+  CoverageReport coverage;
+  coverage.routers_total = banks_.size();
+  coverage.routers_combined.resize(banks_.size());
+  for (std::size_t i = 0; i < banks_.size(); ++i) {
+    coverage.routers_combined[i] = static_cast<std::uint32_t>(i);
+  }
+  IntervalResult result =
+      detector_.process(combined, interval, std::move(coverage));
   for (SketchBank& b : banks_) b.clear();
   return result;
+}
+
+std::vector<std::uint8_t> DistributedMonitor::ship_and_clear(
+    std::size_t router, std::uint64_t interval) {
+  SketchBank& bank = banks_.at(router);
+  std::vector<std::uint8_t> frame =
+      serialize_frame(bank, static_cast<std::uint32_t>(router), interval);
+  bank.clear();
+  return frame;
 }
 
 std::size_t DistributedMonitor::bytes_shipped_per_interval() const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "detect/hifind.hpp"
@@ -34,7 +35,18 @@ class DistributedMonitor {
   void feed_at(std::size_t router, const PacketRecord& p);
 
   /// Combines all router banks, runs central detection, clears the banks.
+  /// This is the perfect-network path: the result's CoverageReport always
+  /// says full coverage. Deployments that cannot assume a perfect network
+  /// pair ship_and_clear with the resilient collection layer
+  /// (router/collector.hpp) instead.
   IntervalResult end_interval(std::uint64_t interval);
+
+  /// Router-side half of resilient collection: serializes `router`'s bank as
+  /// an HFB2 frame stamped (router, interval) and clears the bank for the
+  /// next interval. The frame is what a real edge router would put on the
+  /// wire toward the central site.
+  std::vector<std::uint8_t> ship_and_clear(std::size_t router,
+                                           std::uint64_t interval);
 
   std::size_t num_routers() const { return banks_.size(); }
   const SketchBank& bank(std::size_t router) const { return banks_[router]; }

@@ -57,5 +57,15 @@ TEST(ByteIoTest, VectorReadRejectsBogusLength) {
   EXPECT_THROW(r.f64_vector(), std::runtime_error);
 }
 
+TEST(ByteIoTest, VectorReadRejectsOverflowingLength) {
+  // A corrupt count chosen so count * 8 wraps std::uint64_t to a small
+  // number; the bound check must not be fooled into allocating.
+  ByteWriter w;
+  w.u64(0x2000000000000001ULL);  // * 8 == 8 (mod 2^64)
+  w.f64(1.0);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.f64_vector(), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace hifind

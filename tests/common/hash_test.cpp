@@ -118,6 +118,51 @@ TEST(WordHashTest, PreimageMasksPartitionTheWordSpace) {
   }
 }
 
+TEST(Crc32cTest, MatchesKnownVectors) {
+  // RFC 3720 / Castagnoli reference vectors.
+  const char* ascii = "123456789";
+  EXPECT_EQ(crc32c(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(ascii), 9)),
+            0xe3069283u);
+  std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8a9136aau);
+  std::vector<std::uint8_t> ones(32, 0xff);
+  EXPECT_EQ(crc32c(ones), 0x62a8ab43u);
+  std::vector<std::uint8_t> inc(32);
+  for (std::size_t i = 0; i < inc.size(); ++i) {
+    inc[i] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_EQ(crc32c(inc), 0x46dd794eu);
+  EXPECT_EQ(crc32c({}), 0u);
+}
+
+TEST(Crc32cTest, ChainsAcrossCalls) {
+  std::vector<std::uint8_t> data(100);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(mix64(i));
+  }
+  const std::uint32_t whole = crc32c(data);
+  for (const std::size_t split : {0u, 1u, 7u, 50u, 99u, 100u}) {
+    const std::span<const std::uint8_t> s(data);
+    EXPECT_EQ(crc32c(s.subspan(split), crc32c(s.first(split))), whole);
+  }
+}
+
+TEST(Crc32cTest, DetectsEverySingleByteFlip) {
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(mix64(i) >> 13);
+  }
+  const std::uint32_t clean = crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (const std::uint8_t flip : {0x01, 0x80, 0xff}) {
+      auto corrupt = data;
+      corrupt[i] ^= flip;
+      EXPECT_NE(crc32c(corrupt), clean) << "byte " << i;
+    }
+  }
+}
+
 TEST(WordHashTest, DifferentSeedsGiveDifferentTables) {
   WordHash a(1, 2), b(2, 2);
   int diffs = 0;

@@ -214,6 +214,25 @@ TEST(PipelineDeterminismTest, WeightedOffersMatchWeightedSerialRecord) {
   for (std::size_t i = 0; i < c.size(); ++i) ASSERT_EQ(c[i], d[i]);
 }
 
+TEST(ParallelRecorderTest, DrainYieldsInsteadOfSpinningOnLongBacklogs) {
+  // One worker, a deep ring, and a burst far larger than the spin budget:
+  // drain() must fall back from pause-spinning to yielding/sleeping while
+  // the worker chews through the backlog, and account for it.
+  SketchBank bank(cfg());
+  ParallelRecorder rec(bank, 1, 4096);
+  EXPECT_EQ(rec.drain_spin_yields(), 0u);
+  const auto stream = mixed_stream(30000, 13);
+  for (const auto& p : stream) rec.offer(p);
+  rec.drain();
+  const auto yields = rec.drain_spin_yields();
+  EXPECT_GT(yields, 0u)
+      << "a multi-ms backlog drained inside the pure-spin budget?";
+  // Counter is cumulative and an empty drain adds nothing.
+  rec.drain();
+  EXPECT_EQ(rec.drain_spin_yields(), yields);
+  EXPECT_GT(bank.packets_recorded(), 0u);
+}
+
 TEST(RecordMaskedTest, GroupsPartitionTheBank) {
   // Applying each group exactly once must equal one full record().
   const auto stream = mixed_stream(2000, 11);

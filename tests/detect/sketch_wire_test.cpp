@@ -71,6 +71,100 @@ TEST(SketchWireTest, RejectsCorruptedInput) {
   EXPECT_THROW(deserialize_bank(bytes), std::runtime_error);
 }
 
+// --- Versioned frames (HFB1 legacy + HFB2 checksummed) ------------------
+
+std::vector<double> counters_of(const SketchBank& b) {
+  const auto span = b.rs_dip_dport().counters();
+  return {span.begin(), span.end()};
+}
+
+TEST(SketchWireTest, LegacyHfb1RoundTrips) {
+  // Banks serialized before HFB2 existed must still load: deserialize_bank
+  // dispatches on the magic.
+  SketchBank bank(small_cfg());
+  Pcg32 rng(9);
+  feed_flood(bank, IPv4(129, 105, 9, 9), 80, 120, true, rng);
+
+  const auto v1 = serialize_bank_hfb1(bank);
+  ASSERT_EQ(v1[0], 'H');
+  ASSERT_EQ(v1[3], '1');
+  const SketchBank back = deserialize_bank(v1);
+  EXPECT_TRUE(back.combinable_with(bank));
+  EXPECT_EQ(back.packets_recorded(), bank.packets_recorded());
+  EXPECT_EQ(counters_of(back), counters_of(bank));
+
+  const BankFrame frame = deserialize_frame(v1);
+  EXPECT_EQ(frame.version, 1);
+  EXPECT_EQ(frame.router_id, 0u);
+  EXPECT_EQ(frame.interval, 0u);
+}
+
+TEST(SketchWireTest, Hfb2RoundTripsWithHeader) {
+  SketchBank bank(small_cfg());
+  Pcg32 rng(10);
+  feed_flood(bank, IPv4(129, 105, 9, 9), 80, 120, true, rng);
+
+  const auto v2 = serialize_frame(bank, /*router_id=*/6, /*interval=*/41);
+  ASSERT_EQ(v2[3], '2');
+  const BankFrame frame = deserialize_frame(v2);
+  EXPECT_EQ(frame.version, 2);
+  EXPECT_EQ(frame.router_id, 6u);
+  EXPECT_EQ(frame.interval, 41u);
+  EXPECT_EQ(frame.bank.packets_recorded(), bank.packets_recorded());
+  EXPECT_EQ(counters_of(frame.bank), counters_of(bank));
+}
+
+TEST(SketchWireTest, TypedFaultsNameTheRejection) {
+  SketchBank bank(small_cfg());
+  const auto bytes = serialize_frame(bank, 1, 2);
+
+  auto expect_fault = [](const std::vector<std::uint8_t>& frame,
+                         WireFault want) {
+    try {
+      deserialize_bank(frame);
+      FAIL() << "expected WireError " << wire_fault_name(want);
+    } catch (const WireError& e) {
+      EXPECT_EQ(e.fault(), want) << e.what();
+    }
+  };
+
+  auto bad = bytes;
+  bad[0] ^= 0xff;
+  expect_fault(bad, WireFault::kBadMagic);
+
+  bad = bytes;
+  bad.resize(10);  // inside the HFB2 header
+  expect_fault(bad, WireFault::kTruncated);
+
+  bad = bytes;
+  bad.resize(bytes.size() - 5);  // payload shorter than declared
+  expect_fault(bad, WireFault::kTruncated);
+
+  bad = bytes;
+  bad.push_back(0);  // payload longer than declared
+  expect_fault(bad, WireFault::kBadLength);
+
+  bad = bytes;
+  bad.back() ^= 0x40;  // flip payload content
+  expect_fault(bad, WireFault::kChecksumMismatch);
+
+  bad = bytes;
+  bad[24] ^= 0x01;  // flip the stored CRC field itself (header offset 24)
+  expect_fault(bad, WireFault::kChecksumMismatch);
+}
+
+TEST(SketchWireTest, Hfb1TrailingBytesRejected) {
+  SketchBank bank(small_cfg());
+  auto v1 = serialize_bank_hfb1(bank);
+  v1.push_back(0xaa);
+  try {
+    deserialize_bank(v1);
+    FAIL() << "expected WireError";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.fault(), WireFault::kTrailingBytes);
+  }
+}
+
 TEST(SketchWireTest, WireSizeMatchesCounterFootprint) {
   SketchBank bank(small_cfg());
   const auto bytes = serialize_bank(bank);
