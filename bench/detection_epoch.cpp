@@ -1,0 +1,244 @@
+// Interval-close (detection-epoch) latency bench.
+//
+// Replays a NU-like scenario and times HifindDetector::process per interval
+// under several epoch configurations, against an in-bench reconstruction of
+// the pre-fusion serial epoch (copy-based forecaster steps, separate
+// heavy-bucket scan, serial inferences). Emits one JSON object on stdout;
+// bench/run_detection_epoch.py wraps it into BENCH_detect_epoch.json.
+//
+// Fairness notes, all of which bias the comparison AGAINST the fused epoch:
+//  * the legacy path stops after the three inferences (the set logic and
+//    phase 2/3 screens are excluded), while the measured process() runs the
+//    complete epoch through phase 3;
+//  * the legacy forecaster's accumulate/scale calls go through the same
+//    runtime-dispatched SIMD kernels as everything else, so the baseline
+//    already enjoys the vector backend ("legacy_scalar" additionally pins
+//    the scalar backend, approximating the seed build's plain loops).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/interval.hpp"
+#include "detect/hifind.hpp"
+#include "detect/sketch_bank.hpp"
+#include "sketch/reverse_inference.hpp"
+#include "sketch/simd_ops.hpp"
+
+namespace hifind::bench {
+namespace {
+
+/// The seed's EWMA forecaster, kept verbatim as the baseline: every step
+/// copies the observed sketch for the error, then rolls the forecast with a
+/// scale and an accumulate pass (3 full counter traversals + an allocation,
+/// vs the fused kernel's single pass).
+template <class SketchT>
+class LegacyEwmaForecaster {
+ public:
+  explicit LegacyEwmaForecaster(double alpha) : alpha_(alpha) {}
+
+  std::optional<SketchT> step(const SketchT& observed) {
+    if (!forecast_) {
+      forecast_.emplace(observed);
+      return std::nullopt;
+    }
+    SketchT error(observed);
+    error.accumulate(*forecast_, -1.0);
+    forecast_->scale(1.0 - alpha_);
+    forecast_->accumulate(observed, alpha_);
+    return error;
+  }
+
+ private:
+  double alpha_;
+  std::optional<SketchT> forecast_;
+};
+
+/// The pre-fusion serial epoch: 7 copy-based forecaster steps, then for each
+/// RS error a full heavy_buckets counter scan + verified inference, serially.
+class LegacyEpoch {
+ public:
+  explicit LegacyEpoch(const HifindDetectorConfig& config)
+      : config_(config),
+        f_sip_dport_(config.ewma_alpha),
+        f_dip_dport_(config.ewma_alpha),
+        f_sip_dip_(config.ewma_alpha),
+        fv_sip_dport_(config.ewma_alpha),
+        fv_dip_dport_(config.ewma_alpha),
+        fv_sip_dip_(config.ewma_alpha),
+        f_os_(config.ewma_alpha) {}
+
+  /// Returns the number of inferred keys (kept live so nothing is optimized
+  /// away), or -1 on a warm-up interval.
+  long close(const SketchBank& bank) {
+    const double t = config_.interval_threshold();
+    auto e_sip_dport = f_sip_dport_.step(bank.rs_sip_dport());
+    auto e_dip_dport = f_dip_dport_.step(bank.rs_dip_dport());
+    auto e_sip_dip = f_sip_dip_.step(bank.rs_sip_dip());
+    auto ev_sip_dport = fv_sip_dport_.step(bank.verif_sip_dport());
+    auto ev_dip_dport = fv_dip_dport_.step(bank.verif_dip_dport());
+    auto ev_sip_dip = fv_sip_dip_.step(bank.verif_sip_dip());
+    auto e_os = f_os_.step(bank.os_dip_dport());
+    if (!e_sip_dport || !e_dip_dport || !e_sip_dip) return -1;
+    long keys = 0;
+    keys += infer(*e_dip_dport, *ev_dip_dport, t);
+    keys += infer(*e_sip_dip, *ev_sip_dip, t);
+    keys += infer(*e_sip_dport, *ev_sip_dport, t);
+    return keys;
+  }
+
+ private:
+  long infer(const ReversibleSketch& error, const KarySketch& verif_error,
+             double threshold) {
+    InferenceOptions options = config_.inference;
+    options.verifier = [&verif_error, threshold](std::uint64_t key, double) {
+      return verif_error.estimate(key) >= threshold;
+    };
+    return static_cast<long>(
+        infer_heavy_keys(error, threshold, options).keys.size());
+  }
+
+  HifindDetectorConfig config_;
+  LegacyEwmaForecaster<ReversibleSketch> f_sip_dport_;
+  LegacyEwmaForecaster<ReversibleSketch> f_dip_dport_;
+  LegacyEwmaForecaster<ReversibleSketch> f_sip_dip_;
+  LegacyEwmaForecaster<KarySketch> fv_sip_dport_;
+  LegacyEwmaForecaster<KarySketch> fv_dip_dport_;
+  LegacyEwmaForecaster<KarySketch> fv_sip_dip_;
+  LegacyEwmaForecaster<KarySketch> f_os_;
+};
+
+struct CloseStats {
+  double p50_ms{0}, p99_ms{0}, mean_ms{0};
+  std::size_t intervals{0};
+  std::size_t final_alerts{0};  ///< 0 for the legacy path (no phases run)
+};
+
+double percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+CloseStats finish(std::vector<double>& times_ms, std::size_t alerts) {
+  // Drop the (fast) warm-up closes so the percentiles describe full epochs.
+  if (times_ms.size() > 2) times_ms.erase(times_ms.begin(), times_ms.begin() + 2);
+  CloseStats s;
+  s.intervals = times_ms.size();
+  for (const double t : times_ms) s.mean_ms += t;
+  s.mean_ms /= static_cast<double>(times_ms.size());
+  s.p50_ms = percentile(times_ms, 0.50);
+  s.p99_ms = percentile(times_ms, 0.99);
+  s.final_alerts = alerts;
+  return s;
+}
+
+/// Replays the scenario, timing each interval close with `close`.
+template <class CloseFn>
+CloseStats replay(const Scenario& scenario, const SketchBankConfig& bank_cfg,
+                  std::uint32_t interval_seconds, CloseFn&& close) {
+  SketchBank bank(bank_cfg);
+  IntervalClock clock(interval_seconds);
+  std::vector<double> times_ms;
+  std::size_t alerts = 0;
+  std::uint64_t current = 0;
+  bool any = false;
+  auto close_interval = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    alerts += close(bank, current);
+    const auto t1 = std::chrono::steady_clock::now();
+    times_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    bank.clear();
+  };
+  for (const auto& p : scenario.trace.packets()) {
+    const std::uint64_t iv = clock.interval_of(p.ts);
+    if (!any) {
+      current = iv;
+      any = true;
+    }
+    while (current < iv) {
+      close_interval();
+      ++current;
+    }
+    bank.record(p);
+  }
+  close_interval();
+  return finish(times_ms, alerts);
+}
+
+CloseStats run_detector(const Scenario& scenario, const PipelineConfig& pc,
+                        std::size_t epoch_threads) {
+  HifindDetectorConfig dc = pc.detector;
+  dc.epoch_threads = epoch_threads;
+  HifindDetector detector(dc);
+  return replay(scenario, pc.bank, dc.interval_seconds,
+                [&](const SketchBank& bank, std::uint64_t interval) {
+                  return detector.process(bank, interval).final.size();
+                });
+}
+
+CloseStats run_legacy(const Scenario& scenario, const PipelineConfig& pc) {
+  LegacyEpoch epoch(pc.detector);
+  return replay(scenario, pc.bank, pc.detector.interval_seconds,
+                [&](const SketchBank& bank, std::uint64_t) {
+                  // Key count is not comparable to alert counts; report 0.
+                  (void)epoch.close(bank);
+                  return std::size_t{0};
+                });
+}
+
+void emit(const char* name, const CloseStats& s, bool last = false) {
+  std::printf(
+      "    \"%s\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": %.4f, "
+      "\"intervals\": %zu, \"final_alerts\": %zu}%s\n",
+      name, s.p50_ms, s.p99_ms, s.mean_ms, s.intervals, s.final_alerts,
+      last ? "" : ",");
+}
+
+int run() {
+  const PipelineConfig pc = default_pipeline_config();
+  const Scenario scenario = build_scenario(nu_like_config(7, 3600));
+
+  // Seed-faithful baseline: the legacy epoch on the scalar backend (the seed
+  // had no runtime-dispatched kernels at all).
+  simd::set_force_scalar(true);
+  const CloseStats legacy_scalar = run_legacy(scenario, pc);
+  simd::set_force_scalar(false);
+  const CloseStats legacy = run_legacy(scenario, pc);
+
+  const CloseStats fused_1t = run_detector(scenario, pc, 1);
+  const CloseStats fused_2t = run_detector(scenario, pc, 2);
+  const CloseStats fused_4t = run_detector(scenario, pc, 4);
+  const CloseStats fused_8t = run_detector(scenario, pc, 8);
+
+  // Determinism sanity: identical alert streams at every thread count.
+  const bool alerts_match = fused_1t.final_alerts == fused_2t.final_alerts &&
+                            fused_1t.final_alerts == fused_4t.final_alerts &&
+                            fused_1t.final_alerts == fused_8t.final_alerts;
+
+  std::printf("{\n");
+  std::printf("  \"simd_backend\": \"%s\",\n", simd::active_backend());
+  std::printf("  \"alerts_match_across_threads\": %s,\n",
+              alerts_match ? "true" : "false");
+  std::printf("  \"configs\": {\n");
+  emit("legacy_scalar", legacy_scalar);
+  emit("legacy", legacy);
+  emit("fused_1t", fused_1t);
+  emit("fused_2t", fused_2t);
+  emit("fused_4t", fused_4t);
+  emit("fused_8t", fused_8t, /*last=*/true);
+  std::printf("  }\n}\n");
+  return alerts_match ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hifind::bench
+
+int main() { return hifind::bench::run(); }

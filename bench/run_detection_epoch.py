@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Runs the detection_epoch bench and distills BENCH_detect_epoch.json.
+
+Usage:
+    python3 bench/run_detection_epoch.py [--build-dir build] [--out BENCH_detect_epoch.json]
+
+The bench replays a fixed NU-like scenario and times each interval close
+(the detection epoch: 7 forecaster steps, 3 verified inferences, 3 alert
+phases) under:
+    legacy_scalar — pre-fusion serial epoch, scalar kernels (seed-faithful)
+    legacy        — pre-fusion serial epoch, dispatched SIMD kernels
+    fused_Nt      — fused allocation-free epoch on N task-pool threads
+
+The distilled JSON records p50/p99/mean close latency per configuration and
+the derived speedups the acceptance gates care about:
+    fused_1t_vs_legacy        >= 2.0 expected (fusion alone, any host)
+    fused_4t_vs_legacy_scalar >= 2.0 expected on a >= 8-core host
+plus alerts_match_across_threads, which must be true (bit-identical alerts
+at every thread count).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_detect_epoch.json")
+    args = parser.parse_args()
+
+    binary = os.path.join(args.build_dir, "bench", "detection_epoch")
+    if not os.path.exists(binary):
+        print(f"error: {binary} not found — build the repo first", file=sys.stderr)
+        return 1
+
+    proc = subprocess.run([binary], capture_output=True, text=True)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        print("error: detection_epoch bench failed (alert mismatch?)",
+              file=sys.stderr)
+        sys.stdout.write(proc.stdout)
+        return 1
+    raw = json.loads(proc.stdout)
+
+    configs = raw["configs"]
+
+    def ratio(baseline: str, contender: str):
+        b = configs.get(baseline, {}).get("p50_ms")
+        c = configs.get(contender, {}).get("p50_ms")
+        return round(b / c, 3) if b and c else None
+
+    result = {
+        "generated_by": "bench/run_detection_epoch.py",
+        "benchmark": "bench/detection_epoch.cpp",
+        "context": {
+            "num_cpus": os.cpu_count(),
+            "simd_backend": raw.get("simd_backend"),
+        },
+        "alerts_match_across_threads": raw.get("alerts_match_across_threads"),
+        "close_latency_ms": configs,
+        "speedup_p50": {
+            "fused_1t_vs_legacy": ratio("legacy", "fused_1t"),
+            "fused_1t_vs_legacy_scalar": ratio("legacy_scalar", "fused_1t"),
+            "fused_2t_vs_legacy": ratio("legacy", "fused_2t"),
+            "fused_4t_vs_legacy": ratio("legacy", "fused_4t"),
+            "fused_4t_vs_legacy_scalar": ratio("legacy_scalar", "fused_4t"),
+            "fused_8t_vs_legacy": ratio("legacy", "fused_8t"),
+        },
+    }
+
+    tmp_out = args.out + ".tmp"
+    with open(tmp_out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    os.replace(tmp_out, args.out)
+    print(json.dumps(result["speedup_p50"], indent=2))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

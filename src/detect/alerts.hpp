@@ -42,6 +42,10 @@ struct Alert {
   /// Destination port, where the key carries one.
   std::uint16_t dport() const { return unpack_key_port(key); }
 
+  /// Field-wise equality — exact, including the double magnitude; the
+  /// parallel-epoch determinism tests compare alert lists bit-for-bit.
+  bool operator==(const Alert&) const = default;
+
   std::string describe() const;
 };
 

@@ -1,5 +1,7 @@
 #include "detect/hifind.hpp"
 
+#include <algorithm>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -8,61 +10,117 @@ namespace {
 
 /// Inference with the paired verification sketch screening candidates inside
 /// the search (removes near-collision and cross-product artifacts before
-/// they count toward the candidate cap).
+/// they count toward the candidate cap). Starts from the heavy-bucket lists
+/// the fused forecaster pass already collected.
 std::vector<HeavyKey> infer_verified(const ReversibleSketch& error,
                                      const KarySketch& verif_error,
                                      double threshold,
-                                     InferenceOptions options) {
+                                     InferenceOptions options,
+                                     StageBuckets stage_buckets) {
   options.verifier = [&verif_error, threshold](std::uint64_t key,
                                                double /*estimate*/) {
     return verif_error.estimate(key) >= threshold;
   };
-  return infer_heavy_keys(error, threshold, options).keys;
+  return infer_heavy_keys(error, threshold, options, std::move(stage_buckets))
+      .keys;
 }
 
 template <class SketchT>
 std::unique_ptr<Forecaster<SketchT>> build_forecaster(
-    const HifindDetectorConfig& c) {
+    const HifindDetectorConfig& c, SketchArena<SketchT>* arena) {
   return make_forecaster<SketchT>(c.forecast_model, c.ewma_alpha, c.holt_beta,
-                                  c.ma_window);
+                                  c.ma_window, arena);
 }
 
 }  // namespace
 
 HifindDetector::HifindDetector(const HifindDetectorConfig& config)
     : config_(config),
-      f_sip_dport_(build_forecaster<ReversibleSketch>(config)),
-      f_dip_dport_(build_forecaster<ReversibleSketch>(config)),
-      f_sip_dip_(build_forecaster<ReversibleSketch>(config)),
-      fv_sip_dport_(build_forecaster<KarySketch>(config)),
-      fv_dip_dport_(build_forecaster<KarySketch>(config)),
-      fv_sip_dip_(build_forecaster<KarySketch>(config)),
-      f_os_(build_forecaster<KarySketch>(config)),
+      f_sip_dport_(build_forecaster<ReversibleSketch>(config, &rs_arena_)),
+      f_dip_dport_(build_forecaster<ReversibleSketch>(config, &rs_arena_)),
+      f_sip_dip_(build_forecaster<ReversibleSketch>(config, &rs_arena_)),
+      fv_sip_dport_(build_forecaster<KarySketch>(config, &kary_arena_)),
+      fv_dip_dport_(build_forecaster<KarySketch>(config, &kary_arena_)),
+      fv_sip_dip_(build_forecaster<KarySketch>(config, &kary_arena_)),
+      f_os_(build_forecaster<KarySketch>(config, &kary_arena_)),
       ratio_filter_(config.min_syn_ratio),
       persistence_filter_(config.min_persist_intervals) {}
+
+void HifindDetector::ensure_pool() {
+  if (pool_) return;
+  std::size_t threads = config_.epoch_threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min<std::size_t>(hw == 0 ? 1 : hw, 8);
+  }
+  pool_ = std::make_unique<TaskPool>(threads);
+}
 
 IntervalResult HifindDetector::process(const SketchBank& bank,
                                        std::uint64_t interval) {
   IntervalResult result;
   result.interval = interval;
+  const double t = config_.interval_threshold();
+  ensure_pool();
 
-  auto e_sip_dport = f_sip_dport_->step(bank.rs_sip_dport());
-  auto e_dip_dport = f_dip_dport_->step(bank.rs_dip_dport());
-  auto e_sip_dip = f_sip_dip_->step(bank.rs_sip_dip());
-  auto ev_sip_dport = fv_sip_dport_->step(bank.verif_sip_dport());
-  auto ev_dip_dport = fv_dip_dport_->step(bank.verif_dip_dport());
-  auto ev_sip_dip = fv_sip_dip_->step(bank.verif_sip_dip());
-  auto e_os = f_os_->step(bank.os_dip_dport());
-  if (!e_sip_dport || !e_dip_dport || !e_sip_dip) {
+  // Stage A — the 7 forecaster steps are independent tasks; each writes one
+  // distinct slot. The RS steps collect their heavy-bucket candidates in the
+  // same fused counter pass, so stage B starts with its scan already done.
+  const ReversibleSketch* e_sip_dport = nullptr;
+  const ReversibleSketch* e_dip_dport = nullptr;
+  const ReversibleSketch* e_sip_dip = nullptr;
+  const KarySketch* ev_sip_dport = nullptr;
+  const KarySketch* ev_dip_dport = nullptr;
+  const KarySketch* ev_sip_dip = nullptr;
+  const KarySketch* e_os = nullptr;
+  pool_->submit([&, t] {
+    e_sip_dport = f_sip_dport_->step_collect(bank.rs_sip_dport(), t,
+                                             hb_sip_dport_);
+  });
+  pool_->submit([&, t] {
+    e_dip_dport = f_dip_dport_->step_collect(bank.rs_dip_dport(), t,
+                                             hb_dip_dport_);
+  });
+  pool_->submit([&, t] {
+    e_sip_dip = f_sip_dip_->step_collect(bank.rs_sip_dip(), t, hb_sip_dip_);
+  });
+  pool_->submit(
+      [&] { ev_sip_dport = fv_sip_dport_->step_inplace(bank.verif_sip_dport()); });
+  pool_->submit(
+      [&] { ev_dip_dport = fv_dip_dport_->step_inplace(bank.verif_dip_dport()); });
+  pool_->submit(
+      [&] { ev_sip_dip = fv_sip_dip_->step_inplace(bank.verif_sip_dip()); });
+  pool_->submit([&] { e_os = f_os_->step_inplace(bank.os_dip_dport()); });
+  pool_->wait_idle();
+  if (!e_sip_dport || !e_dip_dport || !e_sip_dip || !ev_sip_dport ||
+      !ev_dip_dport || !ev_sip_dip) {
     return result;  // forecaster warm-up interval
   }
 
-  result.raw = phase1(bank, interval, *e_sip_dport, *e_dip_dport, *e_sip_dip,
-                      *ev_sip_dport, *ev_dip_dport, *ev_sip_dip);
+  // Stage B — the three verified inferences are independent of each other;
+  // only the set logic joining their outputs (phase 1) is sequential.
+  std::vector<HeavyKey> keys_dip_dport;
+  std::vector<HeavyKey> keys_sip_dip;
+  std::vector<HeavyKey> keys_sip_dport;
+  pool_->submit([&, t] {
+    keys_dip_dport = infer_verified(*e_dip_dport, *ev_dip_dport, t,
+                                    config_.inference, std::move(hb_dip_dport_));
+  });
+  pool_->submit([&, t] {
+    keys_sip_dip = infer_verified(*e_sip_dip, *ev_sip_dip, t,
+                                  config_.inference, std::move(hb_sip_dip_));
+  });
+  pool_->submit([&, t] {
+    keys_sip_dport = infer_verified(*e_sip_dport, *ev_sip_dport, t,
+                                    config_.inference, std::move(hb_sip_dport_));
+  });
+  pool_->wait_idle();
+
+  result.raw = phase1(interval, keys_dip_dport, keys_sip_dip, keys_sip_dport);
   result.after_2d =
       config_.enable_phase2 ? phase2(bank, result.raw) : result.raw;
   result.final = config_.enable_phase3
-                     ? phase3(bank, e_os ? &*e_os : nullptr, result.after_2d)
+                     ? phase3(bank, e_os, result.after_2d)
                      : result.after_2d;
   return result;
 }
@@ -76,18 +134,14 @@ IntervalResult HifindDetector::process(const SketchBank& bank,
 }
 
 std::vector<Alert> HifindDetector::phase1(
-    const SketchBank& bank, std::uint64_t interval,
-    const ReversibleSketch& e_sip_dport, const ReversibleSketch& e_dip_dport,
-    const ReversibleSketch& e_sip_dip, const KarySketch& ev_sip_dport,
-    const KarySketch& ev_dip_dport, const KarySketch& ev_sip_dip) {
-  (void)bank;
-  const double t = config_.interval_threshold();
+    std::uint64_t interval, const std::vector<HeavyKey>& keys_dip_dport,
+    const std::vector<HeavyKey>& keys_sip_dip,
+    const std::vector<HeavyKey>& keys_sip_dport) {
   std::vector<Alert> alerts;
 
   // Step 1 — RS({DIP,Dport}): SYN-flooding victims.
   std::unordered_set<std::uint32_t> flooding_dips;
-  for (const HeavyKey& k :
-       infer_verified(e_dip_dport, ev_dip_dport, t, config_.inference)) {
+  for (const HeavyKey& k : keys_dip_dport) {
     alerts.push_back(Alert{AttackType::kSynFlooding, interval,
                            KeyKind::DipDport, k.key, k.estimate});
     flooding_dips.insert(unpack_key_ip(k.key).addr);
@@ -96,8 +150,7 @@ std::vector<Alert> HifindDetector::phase1(
   // Step 2 — RS({SIP,DIP}): flooder identification or vertical scan.
   flooding_sip_victim_.clear();
   std::unordered_set<std::uint32_t> flooding_sips;
-  for (const HeavyKey& k :
-       infer_verified(e_sip_dip, ev_sip_dip, t, config_.inference)) {
+  for (const HeavyKey& k : keys_sip_dip) {
     if (flooding_dips.contains(unpack_key_dip(k.key).addr)) {
       flooding_sips.insert(unpack_key_sip(k.key).addr);
       flooding_sip_victim_.emplace(unpack_key_sip(k.key).addr,
@@ -109,8 +162,7 @@ std::vector<Alert> HifindDetector::phase1(
   }
 
   // Step 3 — RS({SIP,Dport}): non-spoofed flooding or horizontal scan.
-  for (const HeavyKey& k :
-       infer_verified(e_sip_dport, ev_sip_dport, t, config_.inference)) {
+  for (const HeavyKey& k : keys_sip_dport) {
     if (flooding_sips.contains(unpack_key_ip(k.key).addr)) {
       alerts.push_back(Alert{AttackType::kNonSpoofedSynFlooding, interval,
                              KeyKind::SipDport, k.key, k.estimate});
@@ -210,6 +262,7 @@ void HifindDetector::reset() {
   fv_sip_dport_->reset();
   fv_dip_dport_->reset();
   fv_sip_dip_->reset();
+  f_os_->reset();
   persistence_filter_ = PersistenceFilter(config_.min_persist_intervals);
 }
 

@@ -20,11 +20,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/task_pool.hpp"
 #include "detect/alerts.hpp"
 #include "detect/fp_filters.hpp"
 #include "detect/sketch_bank.hpp"
 #include "forecast/forecaster.hpp"
 #include "sketch/reverse_inference.hpp"
+#include "sketch/sketch_arena.hpp"
 
 namespace hifind {
 
@@ -57,6 +59,16 @@ struct HifindDetectorConfig {
   /// forecast error is at least this fraction of the alert magnitude.
   double min_syn_surge_fraction{0.5};
 
+  /// Worker threads for the interval-close epoch (forecaster steps and
+  /// per-sketch inference preludes run as parallel tasks). 1 = serial
+  /// (inline, no worker threads); 0 = auto: min(hardware threads, 8) — the
+  /// same budget a ParallelRecorder would claim, which is safe to reuse
+  /// because recording and interval close never overlap in time. Alerts are
+  /// bit-identical across thread counts: tasks write disjoint slots, joins
+  /// happen in a fixed order, and the kernels are bit-exact on every
+  /// backend.
+  std::size_t epoch_threads{0};
+
   /// Alert threshold for one interval, in un-responded SYNs.
   double interval_threshold() const {
     return syn_rate_threshold * interval_seconds;
@@ -88,13 +100,11 @@ class HifindDetector {
   const HifindDetectorConfig& config() const { return config_; }
 
  private:
-  std::vector<Alert> phase1(const SketchBank& bank, std::uint64_t interval,
-                            const ReversibleSketch& e_sip_dport,
-                            const ReversibleSketch& e_dip_dport,
-                            const ReversibleSketch& e_sip_dip,
-                            const KarySketch& ev_sip_dport,
-                            const KarySketch& ev_dip_dport,
-                            const KarySketch& ev_sip_dip);
+  void ensure_pool();
+  std::vector<Alert> phase1(std::uint64_t interval,
+                            const std::vector<HeavyKey>& keys_dip_dport,
+                            const std::vector<HeavyKey>& keys_sip_dip,
+                            const std::vector<HeavyKey>& keys_sip_dport);
   std::vector<Alert> phase2(const SketchBank& bank,
                             const std::vector<Alert>& alerts) const;
   std::vector<Alert> phase3(const SketchBank& bank,
@@ -102,6 +112,20 @@ class HifindDetector {
                             const std::vector<Alert>& alerts);
 
   HifindDetectorConfig config_;
+  /// Storage pools for forecaster state (declared before the forecasters,
+  /// which hold pointers into them). Warm-up/reset cycles reuse counter
+  /// arrays instead of cloning sketches.
+  SketchArena<ReversibleSketch> rs_arena_;
+  SketchArena<KarySketch> kary_arena_;
+  /// Epoch task pool, created on first process() (tests that never process
+  /// an interval spawn no threads).
+  std::unique_ptr<TaskPool> pool_;
+  /// Per-RS heavy-bucket candidates from the fused forecaster pass; filled
+  /// by step_collect in stage A, consumed (moved out) by inference in
+  /// stage B of the same interval.
+  StageBuckets hb_sip_dport_;
+  StageBuckets hb_dip_dport_;
+  StageBuckets hb_sip_dip_;
   /// Step-2 provenance for the current interval: the victim DIP that put
   /// each source into FLOODING_SIP_SET. Phase 3 uses it to drop non-spoofed
   /// flooding alerts whose victim's own flood alert was filtered out (e.g.

@@ -8,98 +8,228 @@
 // unchanged — we provide the paper's EWMA (Eq. 1) plus the moving-average and
 // Holt linear models evaluated in the sketch change-detection paper (IMC'03).
 //
+// Steps are allocation-free in steady state: each model keeps its state and
+// error sketches as members and rolls them in place with the fused kernels
+// (sketch_kernels.hpp) — one pass over the counters per step instead of the
+// copy/scale/accumulate chains of the original formulation, with bit-identical
+// results for EWMA and Holt. Warm-up and reset go through an optional
+// SketchArena so even those transitions reuse counter storage. step_collect()
+// additionally folds the per-stage heavy-bucket threshold scan into the same
+// pass, handing reverse inference its candidate lists for free.
+//
 // All forecasters are templates over the sketch type; KarySketch,
 // ReversibleSketch and TwoDSketch all satisfy the required operations
 // (copy, accumulate, scale, combinable_with).
 #pragma once
 
-#include <deque>
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sketch/sketch_arena.hpp"
+#include "sketch/sketch_kernels.hpp"
 
 namespace hifind {
 
 /// Interface: feed one observation per interval; receive the forecast-error
-/// sketch once the model has enough history (nullopt before that).
+/// sketch once the model has enough history (nullptr/nullopt before that).
 template <class SketchT>
 class Forecaster {
  public:
   virtual ~Forecaster() = default;
 
-  /// Consumes the interval's observed sketch; returns e(t) = M_0(t) - M_f(t),
-  /// or nullopt while the model is still warming up.
-  virtual std::optional<SketchT> step(const SketchT& observed) = 0;
+  /// Consumes the interval's observed sketch; returns e(t) = M_0(t) - M_f(t)
+  /// as a pointer into forecaster-owned storage (valid until the next
+  /// step/reset), or nullptr while the model is still warming up. No heap
+  /// allocation in steady state.
+  virtual const SketchT* step_inplace(const SketchT& observed) = 0;
 
-  /// Discards history (e.g. when a trace restarts).
+  /// As step_inplace, but fuses the heavy-bucket scan into the same counter
+  /// pass: on a non-warmup step, heavy[h] receives the ascending bucket ids
+  /// of stage h whose error value is at or above the heavy_buckets() cut for
+  /// `threshold` — exactly heavy_buckets(*error, threshold). Sketch types
+  /// without per-stage sums (TwoDSketch) leave `heavy` empty.
+  virtual const SketchT* step_collect(const SketchT& observed,
+                                      double threshold,
+                                      StageBuckets& heavy) = 0;
+
+  /// Copying convenience wrapper (the original interface; tests and offline
+  /// tooling). Steady-state hot paths should prefer step_inplace.
+  std::optional<SketchT> step(const SketchT& observed) {
+    const SketchT* error = step_inplace(observed);
+    if (error == nullptr) return std::nullopt;
+    return std::optional<SketchT>(*error);
+  }
+
+  /// Discards history (e.g. when a trace restarts). Pooled storage is
+  /// returned to the arena, if one was provided.
   virtual void reset() = 0;
 };
+
+namespace forecast_detail {
+
+/// Fills `slot` with a value-copy of `src`, going through the arena (storage
+/// reuse) when one is present.
+template <class SketchT>
+void acquire_copy_into(std::optional<SketchT>& slot, const SketchT& src,
+                       SketchArena<SketchT>* arena) {
+  if (arena != nullptr) {
+    slot.emplace(arena->acquire_copy(src));
+  } else {
+    slot.emplace(src);
+  }
+}
+
+template <class SketchT>
+void release_into(std::optional<SketchT>& slot, SketchArena<SketchT>* arena) {
+  if (arena != nullptr && slot.has_value()) {
+    arena->release(std::move(*slot));
+  }
+  slot.reset();
+}
+
+}  // namespace forecast_detail
 
 /// EWMA (paper Eq. 1): M_f(t) = alpha*M_0(t-1) + (1-alpha)*M_f(t-1), seeded
 /// with M_f(2) = M_0(1). Emits errors from the second interval on.
 template <class SketchT>
 class EwmaForecaster final : public Forecaster<SketchT> {
  public:
-  explicit EwmaForecaster(double alpha = 0.5) : alpha_(alpha) {
+  explicit EwmaForecaster(double alpha = 0.5,
+                          SketchArena<SketchT>* arena = nullptr)
+      : alpha_(alpha), arena_(arena) {
     if (alpha <= 0.0 || alpha > 1.0) {
       throw std::invalid_argument("EWMA alpha must be in (0,1]");
     }
   }
 
-  std::optional<SketchT> step(const SketchT& observed) override {
-    if (!forecast_) {
-      forecast_.emplace(observed);  // M_f(2) = M_0(1)
-      return std::nullopt;
-    }
-    SketchT error(observed);
-    error.accumulate(*forecast_, -1.0);
-    // Roll the model: M_f(t+1) = alpha*M_0(t) + (1-alpha)*M_f(t).
-    forecast_->scale(1.0 - alpha_);
-    forecast_->accumulate(observed, alpha_);
-    return error;
+  const SketchT* step_inplace(const SketchT& observed) override {
+    return roll(observed, nullptr, 0.0);
   }
 
-  void reset() override { forecast_.reset(); }
+  const SketchT* step_collect(const SketchT& observed, double threshold,
+                              StageBuckets& heavy) override {
+    return roll(observed, &heavy, threshold);
+  }
+
+  void reset() override {
+    forecast_detail::release_into(forecast_, arena_);
+    forecast_detail::release_into(error_, arena_);
+  }
 
   /// Current forecast sketch (for tests); nullopt before the first step.
   const std::optional<SketchT>& forecast() const { return forecast_; }
 
  private:
+  const SketchT* roll(const SketchT& observed, StageBuckets* heavy,
+                      double threshold) {
+    if (!forecast_) {
+      forecast_detail::acquire_copy_into(forecast_, observed, arena_);
+      return nullptr;  // M_f(2) = M_0(1)
+    }
+    if (!error_) {
+      forecast_detail::acquire_copy_into(error_, observed, arena_);
+    }
+    // e(t) = M_0(t) - M_f(t); M_f(t+1) = alpha*M_0(t) + (1-alpha)*M_f(t),
+    // one fused pass.
+    if (heavy != nullptr) {
+      kernels::ewma_roll_collect(*forecast_, observed, *error_, alpha_,
+                                 threshold, *heavy);
+    } else {
+      kernels::ewma_roll(*forecast_, observed, *error_, alpha_);
+    }
+    return &*error_;
+  }
+
   double alpha_;
+  SketchArena<SketchT>* arena_;
   std::optional<SketchT> forecast_;
+  std::optional<SketchT> error_;
 };
 
-/// Simple moving average over the last `window` observations.
+/// Simple moving average over the last `window` observations. The window sum
+/// is maintained incrementally (add newest, subtract evicted) instead of
+/// re-summing the window each step — an O(window)-to-O(1) change in sketch
+/// passes that re-associates the sum, so MA errors match the naive
+/// formulation to rounding (not bitwise; see the equivalence test).
 template <class SketchT>
 class MovingAverageForecaster final : public Forecaster<SketchT> {
  public:
-  explicit MovingAverageForecaster(std::size_t window = 5) : window_(window) {
+  explicit MovingAverageForecaster(std::size_t window = 5,
+                                   SketchArena<SketchT>* arena = nullptr)
+      : window_(window), arena_(arena) {
     if (window == 0) {
       throw std::invalid_argument("moving-average window must be >= 1");
     }
   }
 
-  std::optional<SketchT> step(const SketchT& observed) override {
-    std::optional<SketchT> error;
-    if (!history_.empty()) {
-      SketchT forecast(history_.front());
-      for (std::size_t i = 1; i < history_.size(); ++i) {
-        forecast.accumulate(history_[i], 1.0);
-      }
-      forecast.scale(1.0 / static_cast<double>(history_.size()));
-      error.emplace(observed);
-      error->accumulate(forecast, -1.0);
-    }
-    history_.push_back(observed);
-    if (history_.size() > window_) history_.pop_front();
-    return error;
+  const SketchT* step_inplace(const SketchT& observed) override {
+    return roll(observed, nullptr, 0.0);
   }
 
-  void reset() override { history_.clear(); }
+  const SketchT* step_collect(const SketchT& observed, double threshold,
+                              StageBuckets& heavy) override {
+    return roll(observed, &heavy, threshold);
+  }
+
+  void reset() override {
+    for (auto& slot : ring_) {
+      if (arena_ != nullptr) arena_->release(std::move(slot));
+    }
+    ring_.clear();
+    head_ = 0;
+    forecast_detail::release_into(sum_, arena_);
+    forecast_detail::release_into(error_, arena_);
+  }
 
  private:
+  const SketchT* roll(const SketchT& observed, StageBuckets* heavy,
+                      double threshold) {
+    const SketchT* out = nullptr;
+    if (!ring_.empty()) {
+      if (!error_) {
+        forecast_detail::acquire_copy_into(error_, observed, arena_);
+      }
+      const double inv = 1.0 / static_cast<double>(ring_.size());
+      if (heavy != nullptr) {
+        kernels::ma_roll_collect(*sum_, observed, *error_, inv, threshold,
+                                 *heavy);
+      } else {
+        kernels::ma_roll(*sum_, observed, *error_, inv);
+      }
+      out = &*error_;
+    }
+    // Push the observation into the window: running sum + ring slot.
+    if (!sum_) {
+      forecast_detail::acquire_copy_into(sum_, observed, arena_);
+    } else {
+      sum_->accumulate(observed, 1.0);
+    }
+    if (ring_.size() < window_) {
+      if (ring_.capacity() < window_) ring_.reserve(window_);
+      if (arena_ != nullptr) {
+        ring_.push_back(arena_->acquire_copy(observed));
+      } else {
+        ring_.push_back(observed);
+      }
+    } else {
+      SketchT& oldest = ring_[head_];
+      sum_->accumulate(oldest, -1.0);
+      kernels::assign(oldest, observed);
+      head_ = (head_ + 1) % window_;
+    }
+    return out;
+  }
+
   std::size_t window_;
-  std::deque<SketchT> history_;
+  SketchArena<SketchT>* arena_;
+  std::vector<SketchT> ring_;  // last min(window, t) observations
+  std::size_t head_{0};        // index of the oldest ring entry
+  std::optional<SketchT> sum_; // running sum over the ring
+  std::optional<SketchT> error_;
 };
 
 /// Holt's linear (double-exponential) model: tracks level and trend. Useful
@@ -108,73 +238,81 @@ class MovingAverageForecaster final : public Forecaster<SketchT> {
 template <class SketchT>
 class HoltForecaster final : public Forecaster<SketchT> {
  public:
-  HoltForecaster(double alpha = 0.5, double beta = 0.2)
-      : alpha_(alpha), beta_(beta) {
+  explicit HoltForecaster(double alpha = 0.5, double beta = 0.2,
+                          SketchArena<SketchT>* arena = nullptr)
+      : alpha_(alpha), beta_(beta), arena_(arena) {
     if (alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0) {
       throw std::invalid_argument("Holt alpha/beta must be in (0,1]");
     }
   }
 
-  std::optional<SketchT> step(const SketchT& observed) override {
+  const SketchT* step_inplace(const SketchT& observed) override {
+    return roll(observed, nullptr, 0.0);
+  }
+
+  const SketchT* step_collect(const SketchT& observed, double threshold,
+                              StageBuckets& heavy) override {
+    return roll(observed, &heavy, threshold);
+  }
+
+  void reset() override {
+    forecast_detail::release_into(level_, arena_);
+    forecast_detail::release_into(trend_, arena_);
+    forecast_detail::release_into(error_, arena_);
+  }
+
+ private:
+  const SketchT* roll(const SketchT& observed, StageBuckets* heavy,
+                      double threshold) {
     if (!level_) {
-      level_.emplace(observed);
-      return std::nullopt;
+      forecast_detail::acquire_copy_into(level_, observed, arena_);
+      return nullptr;
     }
     if (!trend_) {
       // Second observation: trend = M_0(2) - M_0(1); no error yet (matching
       // the IMC'03 convention that Holt needs two warmup intervals).
-      trend_.emplace(observed);
+      forecast_detail::acquire_copy_into(trend_, observed, arena_);
       trend_->accumulate(*level_, -1.0);
-      level_->clear();
-      level_->accumulate(observed, 1.0);
-      return std::nullopt;
+      kernels::assign(*level_, observed);
+      return nullptr;
     }
-    // Forecast = level + trend.
-    SketchT forecast(*level_);
-    forecast.accumulate(*trend_, 1.0);
-    SketchT error(observed);
-    error.accumulate(forecast, -1.0);
-    // level' = alpha*observed + (1-alpha)*(level + trend)
-    SketchT new_level(forecast);
-    new_level.scale(1.0 - alpha_);
-    new_level.accumulate(observed, alpha_);
-    // trend' = beta*(level' - level) + (1-beta)*trend
-    SketchT delta(new_level);
-    delta.accumulate(*level_, -1.0);
-    trend_->scale(1.0 - beta_);
-    trend_->accumulate(delta, beta_);
-    *level_ = std::move(new_level);
-    return error;
+    if (!error_) {
+      forecast_detail::acquire_copy_into(error_, observed, arena_);
+    }
+    // err = M_0 - (level+trend); level/trend rolled — one fused pass.
+    if (heavy != nullptr) {
+      kernels::holt_roll_collect(*level_, *trend_, observed, *error_, alpha_,
+                                 beta_, threshold, *heavy);
+    } else {
+      kernels::holt_roll(*level_, *trend_, observed, *error_, alpha_, beta_);
+    }
+    return &*error_;
   }
 
-  void reset() override {
-    level_.reset();
-    trend_.reset();
-  }
-
- private:
   double alpha_;
   double beta_;
+  SketchArena<SketchT>* arena_;
   std::optional<SketchT> level_;
   std::optional<SketchT> trend_;
+  std::optional<SketchT> error_;
 };
 
 /// Forecast model selector for configs.
 enum class ForecastModel : std::uint8_t { kEwma, kMovingAverage, kHolt };
 
-/// Factory for the configured model.
+/// Factory for the configured model. The optional arena is shared by the
+/// caller across forecasters of the same sketch type.
 template <class SketchT>
-std::unique_ptr<Forecaster<SketchT>> make_forecaster(ForecastModel model,
-                                                     double alpha = 0.5,
-                                                     double beta = 0.2,
-                                                     std::size_t window = 5) {
+std::unique_ptr<Forecaster<SketchT>> make_forecaster(
+    ForecastModel model, double alpha = 0.5, double beta = 0.2,
+    std::size_t window = 5, SketchArena<SketchT>* arena = nullptr) {
   switch (model) {
     case ForecastModel::kEwma:
-      return std::make_unique<EwmaForecaster<SketchT>>(alpha);
+      return std::make_unique<EwmaForecaster<SketchT>>(alpha, arena);
     case ForecastModel::kMovingAverage:
-      return std::make_unique<MovingAverageForecaster<SketchT>>(window);
+      return std::make_unique<MovingAverageForecaster<SketchT>>(window, arena);
     case ForecastModel::kHolt:
-      return std::make_unique<HoltForecaster<SketchT>>(alpha, beta);
+      return std::make_unique<HoltForecaster<SketchT>>(alpha, beta, arena);
   }
   throw std::invalid_argument("unknown forecast model");
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sketch/simd_ops.hpp"
+
 namespace hifind {
 namespace {
 
@@ -96,16 +98,15 @@ void KarySketch::accumulate(const KarySketch& other, double coeff) {
     throw std::invalid_argument(
         "KarySketch::accumulate: sketches have different shape or seed");
   }
-  for (std::size_t i = 0; i < counters_.size(); ++i) {
-    counters_[i] += coeff * other.counters_[i];
-  }
+  simd::accumulate(counters_.data(), other.counters_.data(), counters_.size(),
+                   coeff);
   for (std::size_t h = 0; h < config_.num_stages; ++h) {
     stage_sums_[h] += coeff * other.stage_sums_[h];
   }
 }
 
 void KarySketch::scale(double coeff) {
-  for (auto& c : counters_) c *= coeff;
+  simd::scale(counters_.data(), counters_.size(), coeff);
   for (auto& s : stage_sums_) s *= coeff;
 }
 

@@ -22,6 +22,8 @@
 
 namespace hifind {
 
+struct SketchKernelAccess;
+
 /// Shape parameters of a k-ary sketch.
 struct KarySketchConfig {
   std::size_t num_stages{6};    ///< H: independent hash tables (paper: 6)
@@ -104,6 +106,8 @@ class KarySketch {
   std::uint64_t update_count() const { return update_count_; }
 
  private:
+  friend struct SketchKernelAccess;  // fused kernels (sketch_kernels.hpp)
+
   std::size_t bucket_index(std::size_t stage, std::uint64_t key) const {
     // Stage hashes are constructed with the bucket count, so this dispatches
     // to the power-of-two shift fast path for every standard config.

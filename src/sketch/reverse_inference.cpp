@@ -200,27 +200,48 @@ std::vector<std::vector<std::uint32_t>> heavy_buckets(
   return out;
 }
 
+namespace {
+
+/// Top-N-anomalies mode: keep each stage's largest buckets only. Ties on
+/// bucket value break toward the lower bucket index, so the kept set is a
+/// deterministic function of the sketch (partial_sort alone leaves
+/// equal-valued buckets in unspecified order).
+void apply_top_n(const ReversibleSketch& sketch,
+                 const InferenceOptions& options,
+                 std::vector<std::vector<std::uint32_t>>& buckets) {
+  if (options.max_heavy_per_stage == 0) return;
+  for (std::size_t h = 0; h < buckets.size(); ++h) {
+    auto& stage = buckets[h];
+    if (stage.size() <= options.max_heavy_per_stage) continue;
+    std::partial_sort(
+        stage.begin(),
+        stage.begin() +
+            static_cast<std::ptrdiff_t>(options.max_heavy_per_stage),
+        stage.end(), [&](std::uint32_t a, std::uint32_t b) {
+          const double va = sketch.bucket_value(h, a);
+          const double vb = sketch.bucket_value(h, b);
+          return va > vb || (va == vb && a < b);
+        });
+    stage.resize(options.max_heavy_per_stage);
+    std::sort(stage.begin(), stage.end());
+  }
+}
+
+}  // namespace
+
 InferenceResult infer_heavy_keys(const ReversibleSketch& sketch,
                                  double threshold,
                                  const InferenceOptions& options) {
-  auto buckets = heavy_buckets(sketch, threshold);
-  if (options.max_heavy_per_stage > 0) {
-    // Top-N-anomalies mode: keep each stage's largest buckets only.
-    for (std::size_t h = 0; h < buckets.size(); ++h) {
-      auto& stage = buckets[h];
-      if (stage.size() <= options.max_heavy_per_stage) continue;
-      std::partial_sort(
-          stage.begin(),
-          stage.begin() +
-              static_cast<std::ptrdiff_t>(options.max_heavy_per_stage),
-          stage.end(), [&](std::uint32_t a, std::uint32_t b) {
-            return sketch.bucket_value(h, a) > sketch.bucket_value(h, b);
-          });
-      stage.resize(options.max_heavy_per_stage);
-      std::sort(stage.begin(), stage.end());
-    }
-  }
-  InferenceSearch search(sketch, threshold, options, std::move(buckets));
+  return infer_heavy_keys(sketch, threshold, options,
+                          heavy_buckets(sketch, threshold));
+}
+
+InferenceResult infer_heavy_keys(
+    const ReversibleSketch& sketch, double threshold,
+    const InferenceOptions& options,
+    std::vector<std::vector<std::uint32_t>> stage_buckets) {
+  apply_top_n(sketch, options, stage_buckets);
+  InferenceSearch search(sketch, threshold, options, std::move(stage_buckets));
   return search.run();
 }
 

@@ -78,6 +78,16 @@ InferenceResult infer_heavy_keys(const ReversibleSketch& sketch,
                                  double threshold,
                                  const InferenceOptions& options = {});
 
+/// As above, but starting from precomputed per-stage heavy-bucket lists
+/// (ascending bucket ids; the heavy_buckets() format). The detection epoch
+/// obtains these for free from the fused forecaster pass (step_collect) and
+/// hands them here, skipping the full-counter threshold scan. The lists must
+/// correspond to (sketch, threshold) for the estimates to be meaningful.
+InferenceResult infer_heavy_keys(
+    const ReversibleSketch& sketch, double threshold,
+    const InferenceOptions& options,
+    std::vector<std::vector<std::uint32_t>> stage_buckets);
+
 /// Per-stage heavy-bucket indices (exposed for tests and diagnostics):
 /// buckets whose mean-corrected estimate exceeds `threshold`.
 std::vector<std::vector<std::uint32_t>> heavy_buckets(

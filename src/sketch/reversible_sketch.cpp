@@ -5,6 +5,8 @@
 #include <span>
 #include <stdexcept>
 
+#include "sketch/simd_ops.hpp"
+
 namespace hifind {
 namespace {
 
@@ -122,16 +124,15 @@ void ReversibleSketch::accumulate(const ReversibleSketch& other,
     throw std::invalid_argument(
         "ReversibleSketch::accumulate: sketches have different shape or seed");
   }
-  for (std::size_t i = 0; i < counters_.size(); ++i) {
-    counters_[i] += coeff * other.counters_[i];
-  }
+  simd::accumulate(counters_.data(), other.counters_.data(), counters_.size(),
+                   coeff);
   for (std::size_t h = 0; h < config_.num_stages; ++h) {
     stage_sums_[h] += coeff * other.stage_sums_[h];
   }
 }
 
 void ReversibleSketch::scale(double coeff) {
-  for (auto& c : counters_) c *= coeff;
+  simd::scale(counters_.data(), counters_.size(), coeff);
   for (auto& s : stage_sums_) s *= coeff;
 }
 

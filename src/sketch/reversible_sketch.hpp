@@ -26,6 +26,8 @@
 
 namespace hifind {
 
+struct SketchKernelAccess;
+
 /// Shape parameters of a reversible sketch.
 struct ReversibleSketchConfig {
   int key_bits{48};          ///< n: key width; must be a multiple of 8, <= 64
@@ -126,6 +128,8 @@ class ReversibleSketch {
   std::uint64_t update_count() const { return update_count_; }
 
  private:
+  friend struct SketchKernelAccess;  // fused kernels (sketch_kernels.hpp)
+
   ReversibleSketchConfig config_;
   KeyMangler mangler_;
   std::vector<WordHash> word_hashes_;  // stage-major, H*q

@@ -1,0 +1,92 @@
+// SIMD linear-algebra kernels for sketch counter arrays.
+//
+// The detection epoch (interval close) is memory-pass bound: every
+// forecaster step and every heavy-bucket scan walks multi-megabyte counter
+// arrays, and the seed implementation walked them several times per step
+// (copy, scale, accumulate, then a separate threshold scan). This layer
+// provides the single-pass fused kernels those phases compile down to:
+//
+//   scale       y *= c
+//   accumulate  y += c*x
+//   axpby       y  = a*y + b*x
+//   ewma_roll   err = obs - fc;  fc = (1-a)*fc + a*obs          (one pass)
+//   holt_roll   Holt level/trend/error update                    (one pass)
+//   ma_roll     err = obs - inv_n*sum                            (one pass)
+//   *_collect   as above, additionally emitting the indices where
+//               err >= cut — the per-stage heavy-bucket candidate list
+//               falls out of the forecast pass for free.
+//
+// Every kernel has a portable scalar implementation and an AVX2
+// implementation (compiled when HIFIND_NATIVE is ON and the toolchain
+// supports it), selected once at startup via cpuid. BIT-IDENTITY is a hard
+// contract: the AVX2 bodies use only IEEE mul/add/sub (no FMA, and the TU
+// is built with -ffp-contract=off), and every fused kernel evaluates the
+// exact per-element expressions of the scalar multi-pass sequence it
+// replaces, so scalar vs. SIMD and fused vs. unfused produce bit-identical
+// counters. Tests assert this property; the parallel detection epoch's
+// determinism rests on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hifind::simd {
+
+/// y *= c over n doubles.
+void scale(double* y, std::size_t n, double c);
+
+/// y += c * x over n doubles (the accumulate() inner loop).
+void accumulate(double* y, const double* x, std::size_t n, double c);
+
+/// y = a*y + b*x over n doubles, evaluated as (a*y) + (b*x).
+void axpby(double* y, const double* x, std::size_t n, double a, double b);
+
+/// Fused EWMA step over n counters:
+///   err[i] = obs[i] - fc[i]
+///   fc[i]  = ((1-alpha)*fc[i]) + (alpha*obs[i])
+void ewma_roll(double* fc, const double* obs, double* err, std::size_t n,
+               double alpha);
+
+/// ewma_roll + heavy-candidate collection: appends to out_idx (caller
+/// guarantees room for n entries) every index i with err[i] >= cut, in
+/// ascending order; returns the number emitted.
+std::size_t ewma_roll_collect(double* fc, const double* obs, double* err,
+                              std::size_t n, double alpha, double cut,
+                              std::uint32_t* out_idx);
+
+/// Fused Holt (double-exponential) step over n counters:
+///   f      = level[i] + trend[i]
+///   err[i] = obs[i] - f
+///   nl     = ((1-alpha)*f) + (alpha*obs[i])
+///   d      = nl - level[i]
+///   trend[i] = ((1-beta)*trend[i]) + (beta*d)
+///   level[i] = nl
+void holt_roll(double* level, double* trend, const double* obs, double* err,
+               std::size_t n, double alpha, double beta);
+
+/// holt_roll + heavy-candidate collection (see ewma_roll_collect).
+std::size_t holt_roll_collect(double* level, double* trend, const double* obs,
+                              double* err, std::size_t n, double alpha,
+                              double beta, double cut, std::uint32_t* out_idx);
+
+/// Fused moving-average error: err[i] = obs[i] - inv_n*sum[i].
+void ma_roll(const double* sum, const double* obs, double* err, std::size_t n,
+             double inv_n);
+
+/// ma_roll + heavy-candidate collection (see ewma_roll_collect).
+std::size_t ma_roll_collect(const double* sum, const double* obs, double* err,
+                            std::size_t n, double inv_n, double cut,
+                            std::uint32_t* out_idx);
+
+/// Name of the active backend: "avx2" or "scalar".
+const char* active_backend();
+
+/// Forces the portable scalar backend on (true) or restores the
+/// best-available backend (false). For tests and benchmarks that compare
+/// the two paths; not thread-safe against concurrent kernel calls.
+void set_force_scalar(bool force);
+
+/// True when the AVX2 backend was compiled in AND the CPU supports it.
+bool avx2_available();
+
+}  // namespace hifind::simd

@@ -1,0 +1,225 @@
+// AVX2 backend for simd_ops. Compiled with -mavx2 -ffp-contract=off (and
+// WITHOUT -mfma): every vector body uses only vmulpd/vaddpd/vsubpd, whose
+// per-lane results are bit-identical to the scalar backend's mul/add/sub —
+// the bit-identity contract the detection epoch's determinism rests on.
+// Remainder elements (n % 4) run the same scalar expressions.
+#if defined(HIFIND_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace hifind::simd::detail::avx2 {
+
+void scale(double* y, std::size_t n, double c) {
+  const __m256d vc = _mm256_set1_pd(c);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_mul_pd(_mm256_loadu_pd(y + i), vc));
+  }
+  for (; i < n; ++i) y[i] *= c;
+}
+
+void accumulate(double* y, const double* x, std::size_t n, double c) {
+  const __m256d vc = _mm256_set1_pd(c);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(vc, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += c * x[i];
+}
+
+void axpby(double* y, const double* x, std::size_t n, double a, double b) {
+  const __m256d va = _mm256_set1_pd(a);
+  const __m256d vb = _mm256_set1_pd(b);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d ay = _mm256_mul_pd(va, _mm256_loadu_pd(y + i));
+    const __m256d bx = _mm256_mul_pd(vb, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(ay, bx));
+  }
+  for (; i < n; ++i) y[i] = (a * y[i]) + (b * x[i]);
+}
+
+void ewma_roll(double* fc, const double* obs, double* err, std::size_t n,
+               double alpha) {
+  const double keep = 1.0 - alpha;
+  const __m256d vkeep = _mm256_set1_pd(keep);
+  const __m256d valpha = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d o = _mm256_loadu_pd(obs + i);
+    const __m256d f = _mm256_loadu_pd(fc + i);
+    _mm256_storeu_pd(err + i, _mm256_sub_pd(o, f));
+    _mm256_storeu_pd(fc + i, _mm256_add_pd(_mm256_mul_pd(vkeep, f),
+                                           _mm256_mul_pd(valpha, o)));
+  }
+  for (; i < n; ++i) {
+    const double o = obs[i];
+    err[i] = o - fc[i];
+    fc[i] = (keep * fc[i]) + (alpha * o);
+  }
+}
+
+std::size_t ewma_roll_collect(double* fc, const double* obs, double* err,
+                              std::size_t n, double alpha, double cut,
+                              std::uint32_t* out_idx) {
+  const double keep = 1.0 - alpha;
+  const __m256d vkeep = _mm256_set1_pd(keep);
+  const __m256d valpha = _mm256_set1_pd(alpha);
+  const __m256d vcut = _mm256_set1_pd(cut);
+  std::size_t emitted = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d o = _mm256_loadu_pd(obs + i);
+    const __m256d f = _mm256_loadu_pd(fc + i);
+    const __m256d e = _mm256_sub_pd(o, f);
+    _mm256_storeu_pd(err + i, e);
+    _mm256_storeu_pd(fc + i, _mm256_add_pd(_mm256_mul_pd(vkeep, f),
+                                           _mm256_mul_pd(valpha, o)));
+    unsigned m = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(e, vcut, _CMP_GE_OQ)));
+    while (m != 0) {
+      const int lane = std::countr_zero(m);
+      m &= m - 1;
+      out_idx[emitted++] = static_cast<std::uint32_t>(i) +
+                           static_cast<std::uint32_t>(lane);
+    }
+  }
+  for (; i < n; ++i) {
+    const double o = obs[i];
+    const double e = o - fc[i];
+    err[i] = e;
+    fc[i] = (keep * fc[i]) + (alpha * o);
+    if (e >= cut) out_idx[emitted++] = static_cast<std::uint32_t>(i);
+  }
+  return emitted;
+}
+
+void holt_roll(double* level, double* trend, const double* obs, double* err,
+               std::size_t n, double alpha, double beta) {
+  const double keep_a = 1.0 - alpha;
+  const double keep_b = 1.0 - beta;
+  const __m256d vka = _mm256_set1_pd(keep_a);
+  const __m256d va = _mm256_set1_pd(alpha);
+  const __m256d vkb = _mm256_set1_pd(keep_b);
+  const __m256d vb = _mm256_set1_pd(beta);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d o = _mm256_loadu_pd(obs + i);
+    const __m256d l = _mm256_loadu_pd(level + i);
+    const __m256d t = _mm256_loadu_pd(trend + i);
+    const __m256d f = _mm256_add_pd(l, t);
+    _mm256_storeu_pd(err + i, _mm256_sub_pd(o, f));
+    const __m256d nl =
+        _mm256_add_pd(_mm256_mul_pd(vka, f), _mm256_mul_pd(va, o));
+    const __m256d d = _mm256_sub_pd(nl, l);
+    _mm256_storeu_pd(trend + i, _mm256_add_pd(_mm256_mul_pd(vkb, t),
+                                              _mm256_mul_pd(vb, d)));
+    _mm256_storeu_pd(level + i, nl);
+  }
+  for (; i < n; ++i) {
+    const double o = obs[i];
+    const double f = level[i] + trend[i];
+    err[i] = o - f;
+    const double nl = (keep_a * f) + (alpha * o);
+    const double d = nl - level[i];
+    trend[i] = (keep_b * trend[i]) + (beta * d);
+    level[i] = nl;
+  }
+}
+
+std::size_t holt_roll_collect(double* level, double* trend, const double* obs,
+                              double* err, std::size_t n, double alpha,
+                              double beta, double cut,
+                              std::uint32_t* out_idx) {
+  const double keep_a = 1.0 - alpha;
+  const double keep_b = 1.0 - beta;
+  const __m256d vka = _mm256_set1_pd(keep_a);
+  const __m256d va = _mm256_set1_pd(alpha);
+  const __m256d vkb = _mm256_set1_pd(keep_b);
+  const __m256d vb = _mm256_set1_pd(beta);
+  const __m256d vcut = _mm256_set1_pd(cut);
+  std::size_t emitted = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d o = _mm256_loadu_pd(obs + i);
+    const __m256d l = _mm256_loadu_pd(level + i);
+    const __m256d t = _mm256_loadu_pd(trend + i);
+    const __m256d f = _mm256_add_pd(l, t);
+    const __m256d e = _mm256_sub_pd(o, f);
+    _mm256_storeu_pd(err + i, e);
+    const __m256d nl =
+        _mm256_add_pd(_mm256_mul_pd(vka, f), _mm256_mul_pd(va, o));
+    const __m256d d = _mm256_sub_pd(nl, l);
+    _mm256_storeu_pd(trend + i, _mm256_add_pd(_mm256_mul_pd(vkb, t),
+                                              _mm256_mul_pd(vb, d)));
+    _mm256_storeu_pd(level + i, nl);
+    unsigned m = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(e, vcut, _CMP_GE_OQ)));
+    while (m != 0) {
+      const int lane = std::countr_zero(m);
+      m &= m - 1;
+      out_idx[emitted++] = static_cast<std::uint32_t>(i) +
+                           static_cast<std::uint32_t>(lane);
+    }
+  }
+  for (; i < n; ++i) {
+    const double o = obs[i];
+    const double f = level[i] + trend[i];
+    const double e = o - f;
+    err[i] = e;
+    const double nl = (keep_a * f) + (alpha * o);
+    const double d = nl - level[i];
+    trend[i] = (keep_b * trend[i]) + (beta * d);
+    level[i] = nl;
+    if (e >= cut) out_idx[emitted++] = static_cast<std::uint32_t>(i);
+  }
+  return emitted;
+}
+
+void ma_roll(const double* sum, const double* obs, double* err, std::size_t n,
+             double inv_n) {
+  const __m256d vinv = _mm256_set1_pd(inv_n);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(vinv, _mm256_loadu_pd(sum + i));
+    _mm256_storeu_pd(err + i, _mm256_sub_pd(_mm256_loadu_pd(obs + i), prod));
+  }
+  for (; i < n; ++i) err[i] = obs[i] - inv_n * sum[i];
+}
+
+std::size_t ma_roll_collect(const double* sum, const double* obs, double* err,
+                            std::size_t n, double inv_n, double cut,
+                            std::uint32_t* out_idx) {
+  const __m256d vinv = _mm256_set1_pd(inv_n);
+  const __m256d vcut = _mm256_set1_pd(cut);
+  std::size_t emitted = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(vinv, _mm256_loadu_pd(sum + i));
+    const __m256d e = _mm256_sub_pd(_mm256_loadu_pd(obs + i), prod);
+    _mm256_storeu_pd(err + i, e);
+    unsigned m = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(e, vcut, _CMP_GE_OQ)));
+    while (m != 0) {
+      const int lane = std::countr_zero(m);
+      m &= m - 1;
+      out_idx[emitted++] = static_cast<std::uint32_t>(i) +
+                           static_cast<std::uint32_t>(lane);
+    }
+  }
+  for (; i < n; ++i) {
+    const double e = obs[i] - inv_n * sum[i];
+    err[i] = e;
+    if (e >= cut) out_idx[emitted++] = static_cast<std::uint32_t>(i);
+  }
+  return emitted;
+}
+
+}  // namespace hifind::simd::detail::avx2
+
+#endif  // HIFIND_HAVE_AVX2

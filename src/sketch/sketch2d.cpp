@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "sketch/simd_ops.hpp"
+
 namespace hifind {
 
 TwoDSketch::TwoDSketch(const Sketch2dConfig& config) : config_(config) {
@@ -126,13 +128,11 @@ void TwoDSketch::accumulate(const TwoDSketch& other, double coeff) {
     throw std::invalid_argument(
         "TwoDSketch::accumulate: sketches have different shape or seed");
   }
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    cells_[i] += coeff * other.cells_[i];
-  }
+  simd::accumulate(cells_.data(), other.cells_.data(), cells_.size(), coeff);
 }
 
 void TwoDSketch::scale(double coeff) {
-  for (auto& c : cells_) c *= coeff;
+  simd::scale(cells_.data(), cells_.size(), coeff);
 }
 
 void TwoDSketch::clear() {

@@ -26,6 +26,8 @@
 
 namespace hifind {
 
+struct SketchKernelAccess;
+
 /// Shape parameters of a 2D sketch.
 struct Sketch2dConfig {
   std::size_t num_stages{5};     ///< H (paper: 5)
@@ -100,6 +102,8 @@ class TwoDSketch {
   std::uint64_t update_count() const { return update_count_; }
 
  private:
+  friend struct SketchKernelAccess;  // fused kernels (sketch_kernels.hpp)
+
   std::size_t cell_index(std::size_t stage, std::uint64_t x_key,
                          std::uint64_t y_key) const {
     // Hashes carry their bucket counts (power-of-two fast path applies).

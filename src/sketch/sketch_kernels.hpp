@@ -1,0 +1,326 @@
+// Fused sketch-level kernels for the detection epoch.
+//
+// Forecasting in sketch space is linear algebra over the flat counter
+// arrays, and the seed implementation spelled each forecaster step as a
+// sequence of whole-array passes (copy, scale, accumulate) plus a separate
+// heavy-bucket threshold scan per stage. These kernels collapse each step
+// into ONE pass over the counters (dispatched to simd_ops), maintain the
+// cached per-stage sums analytically with the exact scalar expressions the
+// multi-pass sequence produced, and can collect the per-stage heavy-bucket
+// candidate lists during that same pass — so reverse inference starts with
+// its `heavy_buckets` input already in hand.
+//
+// Bit-identity: for EWMA and Holt, every per-element and per-stage-sum
+// expression is operation-for-operation the one the unfused
+// copy/scale/accumulate sequence evaluated, so fused output is
+// bit-identical to the seed path (tests assert this). The moving-average
+// forecaster's *incremental* running sum is the one deliberate deviation —
+// it re-associates the window sum — and is equivalence-tested under
+// tolerance instead.
+//
+// All kernels work on KarySketch, ReversibleSketch and TwoDSketch; heavy
+// collection requires per-stage sums and therefore degrades to plain
+// rolling (empty `heavy`) on TwoDSketch.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sketch/kary_sketch.hpp"
+#include "sketch/reversible_sketch.hpp"
+#include "sketch/simd_ops.hpp"
+#include "sketch/sketch2d.hpp"
+
+namespace hifind {
+
+/// Per-stage heavy-bucket candidate lists (ascending bucket ids) — the
+/// format reverse inference consumes (see heavy_buckets()).
+using StageBuckets = std::vector<std::vector<std::uint32_t>>;
+
+/// Counter-storage access for the kernel layer. Befriended by the sketch
+/// types so fused kernels can run single passes over raw storage while
+/// keeping the cached stage sums consistent; nothing else should touch
+/// counters directly.
+struct SketchKernelAccess {
+  template <class S>
+  static std::span<double> counters(S& s) {
+    return s.counters_;
+  }
+  template <class S>
+  static std::span<const double> counters(const S& s) {
+    return s.counters_;
+  }
+  static std::span<double> counters(TwoDSketch& s) { return s.cells_; }
+  static std::span<const double> counters(const TwoDSketch& s) {
+    return s.cells_;
+  }
+
+  template <class S>
+  static std::span<double> stage_sums(S& s) {
+    return s.stage_sums_;
+  }
+  template <class S>
+  static std::span<const double> stage_sums(const S& s) {
+    return s.stage_sums_;
+  }
+
+  template <class S>
+  static std::uint64_t update_count(const S& s) {
+    return s.update_count_;
+  }
+  template <class S>
+  static void set_update_count(S& s, std::uint64_t n) {
+    s.update_count_ = n;
+  }
+};
+
+namespace kernels {
+
+/// True for sketch types that cache per-stage counter sums (everything but
+/// the 2D sketch) — the prerequisite for fused heavy-bucket collection.
+template <class S>
+concept HasStageSums = requires(const S& s) {
+  { s.stage_sum(std::size_t{0}) } -> std::convertible_to<double>;
+};
+
+namespace detail {
+
+template <class S>
+inline void check_combinable(const S& a, const S& b, const char* what) {
+  if (!a.combinable_with(b)) {
+    throw std::invalid_argument(std::string("sketch kernel ") + what +
+                                ": sketches have different shape or seed");
+  }
+}
+
+/// Reusable per-thread index buffer for the *_collect kernels (sized to the
+/// largest stage seen; TaskPool workers each get their own).
+inline std::vector<std::uint32_t>& collect_scratch(std::size_t stage_len) {
+  thread_local std::vector<std::uint32_t> scratch;
+  if (scratch.size() < stage_len) scratch.resize(stage_len);
+  return scratch;
+}
+
+/// Heavy-bucket cut for one stage, given the error sketch's stage sum:
+/// estimate >= t  <=>  bucket >= t*(1 - 1/K) + sum/K (the exact expression
+/// heavy_buckets() uses).
+inline double stage_cut(double threshold, double err_sum, double k) {
+  return threshold * (1.0 - 1.0 / k) + err_sum / k;
+}
+
+}  // namespace detail
+
+/// dst <- value-copy of src. Reuses dst's existing storage (no reallocation
+/// when shapes match, which check_combinable guarantees).
+template <class S>
+void assign(S& dst, const S& src) {
+  detail::check_combinable(dst, src, "assign");
+  using A = SketchKernelAccess;
+  const auto s = A::counters(src);
+  std::copy(s.begin(), s.end(), A::counters(dst).begin());
+  if constexpr (HasStageSums<S>) {
+    const auto ss = A::stage_sums(src);
+    std::copy(ss.begin(), ss.end(), A::stage_sums(dst).begin());
+  }
+  A::set_update_count(dst, A::update_count(src));
+}
+
+/// Fused EWMA step: err = obs - fc; fc = (1-alpha)*fc + alpha*obs, one pass.
+/// Bit-identical to { err = copy(obs); err.accumulate(fc, -1);
+/// fc.scale(1-alpha); fc.accumulate(obs, alpha); }.
+template <class S>
+void ewma_roll(S& fc, const S& obs, S& err, double alpha) {
+  detail::check_combinable(fc, obs, "ewma_roll");
+  detail::check_combinable(err, obs, "ewma_roll");
+  using A = SketchKernelAccess;
+  const auto o = A::counters(obs);
+  simd::ewma_roll(A::counters(fc).data(), o.data(), A::counters(err).data(),
+                  o.size(), alpha);
+  if constexpr (HasStageSums<S>) {
+    const auto os = A::stage_sums(obs);
+    auto fs = A::stage_sums(fc);
+    auto es = A::stage_sums(err);
+    for (std::size_t h = 0; h < os.size(); ++h) {
+      es[h] = os[h] + (-1.0) * fs[h];
+      fs[h] = ((1.0 - alpha) * fs[h]) + (alpha * os[h]);
+    }
+  }
+  A::set_update_count(err, A::update_count(obs));
+}
+
+/// ewma_roll + per-stage heavy-bucket collection in the same counter pass:
+/// heavy[h] receives exactly heavy_buckets(err, threshold)[h]. Requires
+/// stage sums; on sketch types without them, degrades to ewma_roll with
+/// `heavy` cleared.
+template <class S>
+void ewma_roll_collect(S& fc, const S& obs, S& err, double alpha,
+                       double threshold, StageBuckets& heavy) {
+  if constexpr (!HasStageSums<S>) {
+    heavy.clear();
+    ewma_roll(fc, obs, err, alpha);
+  } else {
+    detail::check_combinable(fc, obs, "ewma_roll_collect");
+    detail::check_combinable(err, obs, "ewma_roll_collect");
+    using A = SketchKernelAccess;
+    const auto o = A::counters(obs);
+    auto f = A::counters(fc);
+    auto e = A::counters(err);
+    const auto os = A::stage_sums(obs);
+    auto fs = A::stage_sums(fc);
+    auto es = A::stage_sums(err);
+    const std::size_t H = os.size();
+    const std::size_t K = o.size() / H;
+    heavy.resize(H);
+    auto& scratch = detail::collect_scratch(K);
+    for (std::size_t h = 0; h < H; ++h) {
+      const double err_sum = os[h] + (-1.0) * fs[h];
+      const double cut =
+          detail::stage_cut(threshold, err_sum, static_cast<double>(K));
+      const std::size_t emitted = simd::ewma_roll_collect(
+          f.data() + h * K, o.data() + h * K, e.data() + h * K, K, alpha, cut,
+          scratch.data());
+      heavy[h].assign(scratch.begin(),
+                      scratch.begin() + static_cast<std::ptrdiff_t>(emitted));
+      es[h] = err_sum;
+      fs[h] = ((1.0 - alpha) * fs[h]) + (alpha * os[h]);
+    }
+    A::set_update_count(err, A::update_count(obs));
+  }
+}
+
+/// Fused Holt step: err = obs - (level+trend); level/trend rolled, one pass.
+/// Bit-identical to the unfused copy/scale/accumulate sequence.
+template <class S>
+void holt_roll(S& level, S& trend, const S& obs, S& err, double alpha,
+               double beta) {
+  detail::check_combinable(level, obs, "holt_roll");
+  detail::check_combinable(trend, obs, "holt_roll");
+  detail::check_combinable(err, obs, "holt_roll");
+  using A = SketchKernelAccess;
+  const auto o = A::counters(obs);
+  simd::holt_roll(A::counters(level).data(), A::counters(trend).data(),
+                  o.data(), A::counters(err).data(), o.size(), alpha, beta);
+  if constexpr (HasStageSums<S>) {
+    const auto os = A::stage_sums(obs);
+    auto ls = A::stage_sums(level);
+    auto ts = A::stage_sums(trend);
+    auto es = A::stage_sums(err);
+    for (std::size_t h = 0; h < os.size(); ++h) {
+      const double f_sum = ls[h] + 1.0 * ts[h];
+      es[h] = os[h] + (-1.0) * f_sum;
+      const double nl_sum = ((1.0 - alpha) * f_sum) + (alpha * os[h]);
+      const double d_sum = nl_sum + (-1.0) * ls[h];
+      ts[h] = ((1.0 - beta) * ts[h]) + (beta * d_sum);
+      ls[h] = nl_sum;
+    }
+  }
+  A::set_update_count(err, A::update_count(obs));
+}
+
+/// holt_roll + heavy-bucket collection (see ewma_roll_collect).
+template <class S>
+void holt_roll_collect(S& level, S& trend, const S& obs, S& err, double alpha,
+                       double beta, double threshold, StageBuckets& heavy) {
+  if constexpr (!HasStageSums<S>) {
+    heavy.clear();
+    holt_roll(level, trend, obs, err, alpha, beta);
+  } else {
+    detail::check_combinable(level, obs, "holt_roll_collect");
+    detail::check_combinable(trend, obs, "holt_roll_collect");
+    detail::check_combinable(err, obs, "holt_roll_collect");
+    using A = SketchKernelAccess;
+    const auto o = A::counters(obs);
+    auto l = A::counters(level);
+    auto t = A::counters(trend);
+    auto e = A::counters(err);
+    const auto os = A::stage_sums(obs);
+    auto ls = A::stage_sums(level);
+    auto ts = A::stage_sums(trend);
+    auto es = A::stage_sums(err);
+    const std::size_t H = os.size();
+    const std::size_t K = o.size() / H;
+    heavy.resize(H);
+    auto& scratch = detail::collect_scratch(K);
+    for (std::size_t h = 0; h < H; ++h) {
+      const double f_sum = ls[h] + 1.0 * ts[h];
+      const double err_sum = os[h] + (-1.0) * f_sum;
+      const double cut =
+          detail::stage_cut(threshold, err_sum, static_cast<double>(K));
+      const std::size_t emitted = simd::holt_roll_collect(
+          l.data() + h * K, t.data() + h * K, o.data() + h * K,
+          e.data() + h * K, K, alpha, beta, cut, scratch.data());
+      heavy[h].assign(scratch.begin(),
+                      scratch.begin() + static_cast<std::ptrdiff_t>(emitted));
+      es[h] = err_sum;
+      const double nl_sum = ((1.0 - alpha) * f_sum) + (alpha * os[h]);
+      const double d_sum = nl_sum + (-1.0) * ls[h];
+      ts[h] = ((1.0 - beta) * ts[h]) + (beta * d_sum);
+      ls[h] = nl_sum;
+    }
+    A::set_update_count(err, A::update_count(obs));
+  }
+}
+
+/// Fused moving-average error: err = obs - inv_n * sum, one pass. `sum` is
+/// the caller-maintained running window sum; this kernel does not modify it.
+template <class S>
+void ma_roll(const S& sum, const S& obs, S& err, double inv_n) {
+  detail::check_combinable(sum, obs, "ma_roll");
+  detail::check_combinable(err, obs, "ma_roll");
+  using A = SketchKernelAccess;
+  const auto o = A::counters(obs);
+  simd::ma_roll(A::counters(sum).data(), o.data(), A::counters(err).data(),
+                o.size(), inv_n);
+  if constexpr (HasStageSums<S>) {
+    const auto os = A::stage_sums(obs);
+    const auto ss = A::stage_sums(sum);
+    auto es = A::stage_sums(err);
+    for (std::size_t h = 0; h < os.size(); ++h) {
+      es[h] = os[h] - inv_n * ss[h];
+    }
+  }
+  A::set_update_count(err, A::update_count(obs));
+}
+
+/// ma_roll + heavy-bucket collection (see ewma_roll_collect).
+template <class S>
+void ma_roll_collect(const S& sum, const S& obs, S& err, double inv_n,
+                     double threshold, StageBuckets& heavy) {
+  if constexpr (!HasStageSums<S>) {
+    heavy.clear();
+    ma_roll(sum, obs, err, inv_n);
+  } else {
+    detail::check_combinable(sum, obs, "ma_roll_collect");
+    detail::check_combinable(err, obs, "ma_roll_collect");
+    using A = SketchKernelAccess;
+    const auto o = A::counters(obs);
+    const auto s = A::counters(sum);
+    auto e = A::counters(err);
+    const auto os = A::stage_sums(obs);
+    const auto ss = A::stage_sums(sum);
+    auto es = A::stage_sums(err);
+    const std::size_t H = os.size();
+    const std::size_t K = o.size() / H;
+    heavy.resize(H);
+    auto& scratch = detail::collect_scratch(K);
+    for (std::size_t h = 0; h < H; ++h) {
+      const double err_sum = os[h] - inv_n * ss[h];
+      const double cut =
+          detail::stage_cut(threshold, err_sum, static_cast<double>(K));
+      const std::size_t emitted = simd::ma_roll_collect(
+          s.data() + h * K, o.data() + h * K, e.data() + h * K, K, inv_n, cut,
+          scratch.data());
+      heavy[h].assign(scratch.begin(),
+                      scratch.begin() + static_cast<std::ptrdiff_t>(emitted));
+      es[h] = err_sum;
+    }
+    A::set_update_count(err, A::update_count(obs));
+  }
+}
+
+}  // namespace kernels
+}  // namespace hifind

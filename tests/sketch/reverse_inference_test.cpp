@@ -285,5 +285,62 @@ TEST(ReverseInferenceTest, DenseAnomalySetNeedsInSearchVerification) {
       << "verifier must remove nearly all cross-product artifacts";
 }
 
+TEST(ReverseInferenceTest, PrecollectedBucketsMatchInternalScan) {
+  // The detection epoch hands in the heavy-bucket lists its fused forecaster
+  // pass collected; the result must equal the classic scan-inside path.
+  ReversibleSketch s(rs48(31));
+  Pcg32 rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    s.update(rng.next64() & ((1ULL << 48) - 1), 1.0);
+  }
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    s.update(pack_ip_port(IPv4{0x0a0a0000u + i}, 80), 600.0);
+  }
+  const double t = 250.0;
+  const InferenceResult internal = infer_heavy_keys(s, t);
+  const InferenceResult precollected =
+      infer_heavy_keys(s, t, InferenceOptions{}, heavy_buckets(s, t));
+  EXPECT_EQ(internal.keys.size(), precollected.keys.size());
+  for (std::size_t i = 0; i < internal.keys.size(); ++i) {
+    EXPECT_EQ(internal.keys[i].key, precollected.keys[i].key) << i;
+  }
+}
+
+TEST(ReverseInferenceTest, TopNTruncationDeterministicUnderTies) {
+  // Regression: max_heavy_per_stage keeps the N largest buckets via a
+  // partial sort. With EQUAL-valued buckets (the common case — many flood
+  // victims at the same packet rate) the old value-only comparator left the
+  // kept set dependent on input order; the tie-break on bucket index makes
+  // truncation a pure function of the sketch. Feed the same heavy-bucket
+  // lists in ascending and descending order: results must match exactly.
+  ReversibleSketch s(rs48(37));
+  // 20 keys, all with IDENTICAL mass => equal-valued heavy buckets.
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    s.update(pack_ip_port(IPv4{0xc0a80000u + i * 7}, 443), 500.0);
+  }
+  const double t = 250.0;
+  InferenceOptions opts;
+  opts.max_heavy_per_stage = 6;  // forces truncation among equal values
+  const auto ascending = heavy_buckets(s, t);
+  auto descending = ascending;
+  for (auto& stage : descending) std::reverse(stage.begin(), stage.end());
+
+  const InferenceResult ra = infer_heavy_keys(s, t, opts, ascending);
+  const InferenceResult rd = infer_heavy_keys(s, t, opts, descending);
+  ASSERT_FALSE(ra.keys.empty());
+  ASSERT_EQ(ra.keys.size(), rd.keys.size());
+  for (std::size_t i = 0; i < ra.keys.size(); ++i) {
+    EXPECT_EQ(ra.keys[i].key, rd.keys[i].key) << i;
+  }
+
+  // And repeated runs through the public path are stable.
+  const InferenceResult r1 = infer_heavy_keys(s, t, opts);
+  const InferenceResult r2 = infer_heavy_keys(s, t, opts);
+  ASSERT_EQ(r1.keys.size(), r2.keys.size());
+  for (std::size_t i = 0; i < r1.keys.size(); ++i) {
+    EXPECT_EQ(r1.keys[i].key, r2.keys[i].key) << i;
+  }
+}
+
 }  // namespace
 }  // namespace hifind

@@ -1,0 +1,359 @@
+// Bit-identity contract of the SIMD kernel layer (sketch/simd_ops.hpp) and
+// the fused sketch kernels built on it (sketch/sketch_kernels.hpp):
+//  * the dispatched backend (AVX2 where available) must produce EXACTLY the
+//    scalar backend's bits, for every length — including odd remainders;
+//  * the fused rolls must produce EXACTLY the bits of the unfused
+//    copy/scale/accumulate sequences they replace, on all three sketch types;
+//  * the fused heavy-bucket collection must report EXACTLY heavy_buckets().
+#include "sketch/simd_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sketch/kary_sketch.hpp"
+#include "sketch/reverse_inference.hpp"
+#include "sketch/reversible_sketch.hpp"
+#include "sketch/sketch2d.hpp"
+#include "sketch/sketch_kernels.hpp"
+
+namespace hifind {
+namespace {
+
+/// Runs `fn` once with the dispatched backend and once with the scalar
+/// backend forced, restoring dispatch afterwards.
+template <class Fn>
+void with_both_backends(Fn&& fn) {
+  simd::set_force_scalar(false);
+  fn(0);
+  simd::set_force_scalar(true);
+  fn(1);
+  simd::set_force_scalar(false);
+}
+
+std::vector<double> random_doubles(std::size_t n, Pcg32& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    // Mix of magnitudes and signs, plus exact integers like real counters.
+    const double raw = static_cast<double>(rng.next() % 100000) / 7.0;
+    x = (rng.next() % 2 == 0) ? raw : -raw;
+    if (rng.next() % 4 == 0) x = std::floor(x);
+  }
+  return v;
+}
+
+TEST(SimdOpsTest, BackendReportsName) {
+  const std::string name = simd::active_backend();
+  EXPECT_TRUE(name == "avx2" || name == "scalar") << name;
+  simd::set_force_scalar(true);
+  EXPECT_STREQ(simd::active_backend(), "scalar");
+  simd::set_force_scalar(false);
+}
+
+// Every kernel, every length 1..67 (covers all vector remainders and spans
+// several full vector blocks): dispatched output must equal scalar output
+// bit for bit.
+TEST(SimdOpsTest, DispatchedBitIdenticalToScalarAllLengths) {
+  Pcg32 rng(0xC0FFEE);
+  for (std::size_t n = 1; n <= 67; ++n) {
+    const auto y0 = random_doubles(n, rng);
+    const auto x = random_doubles(n, rng);
+    const auto sum = random_doubles(n, rng);
+    const double c = 0.625, a = 0.375, b = -1.0, alpha = 0.3, beta = 0.2;
+    const double cut = 1.5, inv_n = 1.0 / 3.0;
+
+    struct Out {
+      std::vector<double> scale_y, acc_y, axpby_y;
+      std::vector<double> ewma_fc, ewma_err;
+      std::vector<double> ewc_fc, ewc_err;
+      std::vector<std::uint32_t> ewc_idx;
+      std::vector<double> holt_l, holt_t, holt_err;
+      std::vector<double> hoc_l, hoc_t, hoc_err;
+      std::vector<std::uint32_t> hoc_idx;
+      std::vector<double> ma_err, mac_err;
+      std::vector<std::uint32_t> mac_idx;
+    } out[2];
+
+    with_both_backends([&](int which) {
+      Out& o = out[which];
+      o.scale_y = y0;
+      simd::scale(o.scale_y.data(), n, c);
+      o.acc_y = y0;
+      simd::accumulate(o.acc_y.data(), x.data(), n, c);
+      o.axpby_y = y0;
+      simd::axpby(o.axpby_y.data(), x.data(), n, a, b);
+
+      o.ewma_fc = y0;
+      o.ewma_err.assign(n, 0.0);
+      simd::ewma_roll(o.ewma_fc.data(), x.data(), o.ewma_err.data(), n, alpha);
+      o.ewc_fc = y0;
+      o.ewc_err.assign(n, 0.0);
+      o.ewc_idx.assign(n, 0);
+      const std::size_t ec = simd::ewma_roll_collect(
+          o.ewc_fc.data(), x.data(), o.ewc_err.data(), n, alpha, cut,
+          o.ewc_idx.data());
+      o.ewc_idx.resize(ec);
+
+      o.holt_l = y0;
+      o.holt_t = sum;
+      o.holt_err.assign(n, 0.0);
+      simd::holt_roll(o.holt_l.data(), o.holt_t.data(), x.data(),
+                      o.holt_err.data(), n, alpha, beta);
+      o.hoc_l = y0;
+      o.hoc_t = sum;
+      o.hoc_err.assign(n, 0.0);
+      o.hoc_idx.assign(n, 0);
+      const std::size_t hc = simd::holt_roll_collect(
+          o.hoc_l.data(), o.hoc_t.data(), x.data(), o.hoc_err.data(), n,
+          alpha, beta, cut, o.hoc_idx.data());
+      o.hoc_idx.resize(hc);
+
+      o.ma_err.assign(n, 0.0);
+      simd::ma_roll(sum.data(), x.data(), o.ma_err.data(), n, inv_n);
+      o.mac_err.assign(n, 0.0);
+      o.mac_idx.assign(n, 0);
+      const std::size_t mc = simd::ma_roll_collect(
+          sum.data(), x.data(), o.mac_err.data(), n, inv_n, cut,
+          o.mac_idx.data());
+      o.mac_idx.resize(mc);
+    });
+
+    EXPECT_EQ(out[0].scale_y, out[1].scale_y) << "scale n=" << n;
+    EXPECT_EQ(out[0].acc_y, out[1].acc_y) << "accumulate n=" << n;
+    EXPECT_EQ(out[0].axpby_y, out[1].axpby_y) << "axpby n=" << n;
+    EXPECT_EQ(out[0].ewma_fc, out[1].ewma_fc) << "ewma fc n=" << n;
+    EXPECT_EQ(out[0].ewma_err, out[1].ewma_err) << "ewma err n=" << n;
+    EXPECT_EQ(out[0].ewc_fc, out[1].ewc_fc) << "ewma_collect fc n=" << n;
+    EXPECT_EQ(out[0].ewc_err, out[1].ewc_err) << "ewma_collect err n=" << n;
+    EXPECT_EQ(out[0].ewc_idx, out[1].ewc_idx) << "ewma_collect idx n=" << n;
+    EXPECT_EQ(out[0].holt_l, out[1].holt_l) << "holt level n=" << n;
+    EXPECT_EQ(out[0].holt_t, out[1].holt_t) << "holt trend n=" << n;
+    EXPECT_EQ(out[0].holt_err, out[1].holt_err) << "holt err n=" << n;
+    EXPECT_EQ(out[0].hoc_l, out[1].hoc_l) << "holt_collect level n=" << n;
+    EXPECT_EQ(out[0].hoc_t, out[1].hoc_t) << "holt_collect trend n=" << n;
+    EXPECT_EQ(out[0].hoc_err, out[1].hoc_err) << "holt_collect err n=" << n;
+    EXPECT_EQ(out[0].hoc_idx, out[1].hoc_idx) << "holt_collect idx n=" << n;
+    EXPECT_EQ(out[0].ma_err, out[1].ma_err) << "ma err n=" << n;
+    EXPECT_EQ(out[0].mac_err, out[1].mac_err) << "ma_collect err n=" << n;
+    EXPECT_EQ(out[0].mac_idx, out[1].mac_idx) << "ma_collect idx n=" << n;
+  }
+}
+
+// Collect variants must report ascending indices of exactly the elements
+// with err >= cut.
+TEST(SimdOpsTest, CollectEmitsAscendingThresholdIndices) {
+  Pcg32 rng(7);
+  for (std::size_t n : {1u, 3u, 4u, 5u, 8u, 13u, 64u, 101u}) {
+    auto fc = random_doubles(n, rng);
+    const auto obs = random_doubles(n, rng);
+    std::vector<double> err(n, 0.0);
+    std::vector<std::uint32_t> idx(n, 0);
+    const double cut = 0.0;
+    const std::size_t count = simd::ewma_roll_collect(
+        fc.data(), obs.data(), err.data(), n, 0.5, cut, idx.data());
+    std::vector<std::uint32_t> expected;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (err[i] >= cut) expected.push_back(static_cast<std::uint32_t>(i));
+    }
+    idx.resize(count);
+    EXPECT_EQ(idx, expected) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused sketch kernels vs the unfused copy/scale/accumulate sequences.
+
+KarySketch random_kary(Pcg32& rng, std::size_t buckets = 37) {
+  // Odd bucket count => odd stage slices (exercises vector remainders).
+  KarySketch s(KarySketchConfig{.num_stages = 5, .num_buckets = buckets,
+                                .seed = 11});
+  for (int i = 0; i < 200; ++i) s.update(rng.next(), 1.0);
+  return s;
+}
+
+ReversibleSketch random_rs(Pcg32& rng) {
+  ReversibleSketch s(ReversibleSketchConfig{
+      .key_bits = 32, .num_stages = 4, .bucket_bits = 8, .seed = 11});
+  for (int i = 0; i < 200; ++i) s.update(rng.next(), 1.0);
+  return s;
+}
+
+TwoDSketch random_2d(Pcg32& rng) {
+  TwoDSketch s(Sketch2dConfig{.num_stages = 3, .x_buckets = 9, .y_buckets = 7,
+                              .seed = 11});
+  for (int i = 0; i < 200; ++i) s.update(rng.next(), rng.next(), 1.0);
+  return s;
+}
+
+/// err = obs - fc; fc = (1-a)*fc + a*obs — the unfused sequence.
+template <class S>
+S naive_ewma_step(S& fc, const S& obs, double alpha) {
+  S err(obs);
+  err.accumulate(fc, -1.0);
+  fc.scale(1.0 - alpha);
+  fc.accumulate(obs, alpha);
+  return err;
+}
+
+template <class S>
+void expect_same_counters(const S& a, const S& b, const char* what) {
+  const auto ca = a.counters();
+  const auto cb = b.counters();
+  ASSERT_EQ(ca.size(), cb.size()) << what;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i], cb[i]) << what << " counter " << i;
+  }
+}
+
+void expect_same_counters(const TwoDSketch& a, const TwoDSketch& b,
+                          const char* what) {
+  const auto ca = a.cells();
+  const auto cb = b.cells();
+  ASSERT_EQ(ca.size(), cb.size()) << what;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i], cb[i]) << what << " cell " << i;
+  }
+}
+
+template <class S>
+void check_ewma_fusion(S fc, const S& obs, const char* what) {
+  S fc_naive(fc);
+  S err_fused(obs);  // storage; overwritten by the kernel
+  kernels::ewma_roll(fc, obs, err_fused, 0.5);
+  const S err_naive = naive_ewma_step(fc_naive, obs, 0.5);
+  expect_same_counters(err_fused, err_naive, what);
+  expect_same_counters(fc, fc_naive, what);
+}
+
+TEST(SketchKernelsTest, FusedEwmaBitIdenticalToUnfusedAllSketchTypes) {
+  Pcg32 rng(99);
+  {
+    const KarySketch obs = random_kary(rng);
+    KarySketch fc = random_kary(rng);
+    check_ewma_fusion(std::move(fc), obs, "kary");
+  }
+  {
+    const ReversibleSketch obs = random_rs(rng);
+    ReversibleSketch fc = random_rs(rng);
+    check_ewma_fusion(std::move(fc), obs, "reversible");
+  }
+  {
+    const TwoDSketch obs = random_2d(rng);
+    TwoDSketch fc = random_2d(rng);
+    check_ewma_fusion(std::move(fc), obs, "twod");
+  }
+}
+
+TEST(SketchKernelsTest, FusedEwmaStageSumsMatchUnfused) {
+  Pcg32 rng(123);
+  const KarySketch obs = random_kary(rng);
+  KarySketch fc = random_kary(rng);
+  KarySketch fc_naive(fc);
+  KarySketch err_fused(obs);
+  kernels::ewma_roll(fc, obs, err_fused, 0.5);
+  const KarySketch err_naive = naive_ewma_step(fc_naive, obs, 0.5);
+  for (std::size_t h = 0; h < obs.num_stages(); ++h) {
+    EXPECT_EQ(err_fused.stage_sum(h), err_naive.stage_sum(h)) << h;
+    EXPECT_EQ(fc.stage_sum(h), fc_naive.stage_sum(h)) << h;
+  }
+}
+
+TEST(SketchKernelsTest, FusedHoltBitIdenticalToUnfused) {
+  Pcg32 rng(7);
+  const double alpha = 0.5, beta = 0.2;
+  const ReversibleSketch obs = random_rs(rng);
+  ReversibleSketch level = random_rs(rng);
+  ReversibleSketch trend = random_rs(rng);
+  ReversibleSketch level_n(level), trend_n(trend);
+
+  ReversibleSketch err_fused(obs);
+  kernels::holt_roll(level, trend, obs, err_fused, alpha, beta);
+
+  // The seed's unfused sequence.
+  ReversibleSketch forecast(level_n);
+  forecast.accumulate(trend_n, 1.0);
+  ReversibleSketch err_naive(obs);
+  err_naive.accumulate(forecast, -1.0);
+  ReversibleSketch new_level(forecast);
+  new_level.scale(1.0 - alpha);
+  new_level.accumulate(obs, alpha);
+  ReversibleSketch delta(new_level);
+  delta.accumulate(level_n, -1.0);
+  trend_n.scale(1.0 - beta);
+  trend_n.accumulate(delta, beta);
+  level_n = new_level;
+
+  expect_same_counters(err_fused, err_naive, "holt err");
+  expect_same_counters(level, level_n, "holt level");
+  expect_same_counters(trend, trend_n, "holt trend");
+  for (std::size_t h = 0; h < obs.config().num_stages; ++h) {
+    EXPECT_EQ(err_fused.stage_sum(h), err_naive.stage_sum(h)) << h;
+    EXPECT_EQ(level.stage_sum(h), level_n.stage_sum(h)) << h;
+    EXPECT_EQ(trend.stage_sum(h), trend_n.stage_sum(h)) << h;
+  }
+}
+
+TEST(SketchKernelsTest, FusedCollectMatchesHeavyBuckets) {
+  Pcg32 rng(31337);
+  const ReversibleSketch obs = random_rs(rng);
+  ReversibleSketch fc = random_rs(rng);
+  const double threshold = 2.0;
+
+  with_both_backends([&](int) {
+    ReversibleSketch fc_run(fc);
+    ReversibleSketch err(obs);
+    StageBuckets heavy;
+    kernels::ewma_roll_collect(fc_run, obs, err, 0.5, threshold, heavy);
+    EXPECT_EQ(heavy, heavy_buckets(err, threshold));
+  });
+}
+
+TEST(SketchKernelsTest, CollectOnTwoDLeavesHeavyEmptyAndRolls) {
+  Pcg32 rng(5);
+  const TwoDSketch obs = random_2d(rng);
+  TwoDSketch fc = random_2d(rng);
+  TwoDSketch fc_naive(fc);
+  TwoDSketch err(obs);
+  StageBuckets heavy{{1, 2, 3}};
+  kernels::ewma_roll_collect(fc, obs, err, 0.5, 1.0, heavy);
+  EXPECT_TRUE(heavy.empty());
+  const TwoDSketch err_naive = naive_ewma_step(fc_naive, obs, 0.5);
+  expect_same_counters(err, err_naive, "twod collect");
+}
+
+TEST(SketchKernelsTest, AssignReusesStorageAndCopiesEverything) {
+  Pcg32 rng(17);
+  const KarySketch src = random_kary(rng);
+  KarySketch dst(src.config());
+  kernels::assign(dst, src);
+  expect_same_counters(dst, src, "assign");
+  for (std::size_t h = 0; h < src.num_stages(); ++h) {
+    EXPECT_EQ(dst.stage_sum(h), src.stage_sum(h));
+  }
+  EXPECT_EQ(dst.update_count(), src.update_count());
+  KarySketch other(KarySketchConfig{.num_stages = 2, .num_buckets = 8,
+                                    .seed = 3});
+  EXPECT_THROW(kernels::assign(other, src), std::invalid_argument);
+}
+
+// accumulate/scale now route through the dispatched kernels; linearity must
+// hold bit-identically across backends.
+TEST(SketchKernelsTest, AccumulateScaleBitIdenticalAcrossBackends) {
+  Pcg32 rng(2024);
+  const KarySketch a = random_kary(rng);
+  const KarySketch b = random_kary(rng);
+  std::vector<double> counters[2];
+  with_both_backends([&](int which) {
+    KarySketch t(a);
+    t.accumulate(b, -0.5);
+    t.scale(1.25);
+    counters[which].assign(t.counters().begin(), t.counters().end());
+  });
+  EXPECT_EQ(counters[0], counters[1]);
+}
+
+}  // namespace
+}  // namespace hifind
