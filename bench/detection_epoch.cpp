@@ -1,9 +1,12 @@
 // Interval-close (detection-epoch) latency bench.
 //
-// Replays a NU-like scenario and times HifindDetector::process per interval
-// under several epoch configurations, against an in-bench reconstruction of
-// the pre-fusion serial epoch (copy-based forecaster steps, separate
-// heavy-bucket scan, serial inferences). Emits one JSON object on stdout;
+// Replays a NU-like scenario and times the INGEST-BLOCKING portion of each
+// interval close under several pipeline configurations, against an in-bench
+// reconstruction of the pre-fusion serial epoch (copy-based forecaster
+// steps, separate heavy-bucket scan, serial inferences). For the fused
+// variants that is all of process(); for the double-buffered overlapped
+// variants it is close_interval() only — the epoch runs off the ingest path
+// and its duration is reported separately. Emits one JSON object on stdout;
 // bench/run_detection_epoch.py wraps it into BENCH_detect_epoch.json.
 //
 // Fairness notes, all of which bias the comparison AGAINST the fused epoch:
@@ -24,6 +27,7 @@
 #include "bench_util.hpp"
 #include "common/interval.hpp"
 #include "detect/hifind.hpp"
+#include "detect/overlapped.hpp"
 #include "detect/sketch_bank.hpp"
 #include "sketch/reverse_inference.hpp"
 #include "sketch/simd_ops.hpp"
@@ -115,6 +119,16 @@ struct CloseStats {
   double p50_ms{0}, p99_ms{0}, mean_ms{0};
   std::size_t intervals{0};
   std::size_t final_alerts{0};  ///< 0 for the legacy path (no phases run)
+  std::size_t epoch_threads{0};  ///< detector pool threads for this variant
+  /// Overlapped pipeline only: the epoch's own duration (it runs off the
+  /// ingest path, so it is NOT part of the close percentiles above) and the
+  /// total backpressure close_interval() absorbed waiting for a prior epoch.
+  double epoch_p50_ms{0}, epoch_p99_ms{0};
+  std::uint64_t close_stall_us{0};
+  bool overlapped{false};
+  /// Total streaming-search work units across the run (the calibration
+  /// datum behind EpochBudget::work_units_per_ms).
+  std::size_t inference_work{0};
 };
 
 double percentile(std::vector<double> v, double p) {
@@ -174,14 +188,87 @@ CloseStats replay(const Scenario& scenario, const SketchBankConfig& bank_cfg,
 }
 
 CloseStats run_detector(const Scenario& scenario, const PipelineConfig& pc,
-                        std::size_t epoch_threads) {
+                        std::size_t epoch_threads,
+                        const EpochBudget& budget = {}) {
   HifindDetectorConfig dc = pc.detector;
   dc.epoch_threads = epoch_threads;
+  dc.budget = budget;
   HifindDetector detector(dc);
-  return replay(scenario, pc.bank, dc.interval_seconds,
-                [&](const SketchBank& bank, std::uint64_t interval) {
-                  return detector.process(bank, interval).final.size();
-                });
+  std::size_t work = 0;
+  CloseStats s = replay(scenario, pc.bank, dc.interval_seconds,
+                        [&](const SketchBank& bank, std::uint64_t interval) {
+                          const IntervalResult r =
+                              detector.process(bank, interval);
+                          work += r.epoch.inference_work;
+                          return r.final.size();
+                        });
+  s.epoch_threads = epoch_threads;
+  s.inference_work = work;
+  return s;
+}
+
+/// Replays the scenario through the double-buffered pipeline. The close
+/// percentiles time close_interval() ONLY — the ingest-blocking seal. The
+/// epoch itself runs in the background; the replay (which has no line time)
+/// then waits for it OUTSIDE the timed region, modeling the interval's worth
+/// of recording a live deployment does while the epoch runs. That wait is
+/// reported separately as the epoch duration, and any time a close DID have
+/// to wait for a straggling epoch shows up in close_stall_us.
+CloseStats run_overlapped(const Scenario& scenario, const PipelineConfig& pc,
+                          unsigned record_threads, std::size_t epoch_threads) {
+  OverlappedPipelineConfig cfg;
+  cfg.bank = pc.bank;
+  cfg.detector = pc.detector;
+  cfg.detector.epoch_threads = epoch_threads;
+  cfg.record_threads = record_threads;
+  OverlappedPipeline pipe(cfg);
+  IntervalClock clock(cfg.detector.interval_seconds);
+  std::vector<double> close_ms;
+  std::vector<double> epoch_ms;
+  std::uint64_t current = 0;
+  bool any = false;
+  auto close_one = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    pipe.close_interval();
+    const auto t1 = std::chrono::steady_clock::now();
+    pipe.wait_epoch_idle();
+    const auto t2 = std::chrono::steady_clock::now();
+    close_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    epoch_ms.push_back(
+        std::chrono::duration<double, std::milli>(t2 - t1).count());
+  };
+  for (const auto& p : scenario.trace.packets()) {
+    const std::uint64_t iv = clock.interval_of(p.ts);
+    if (!any) {
+      current = iv;
+      any = true;
+    }
+    while (current < iv) {
+      close_one();
+      ++current;
+    }
+    pipe.offer(p);
+  }
+  close_one();
+  pipe.wait_epoch_idle();
+  std::size_t alerts = 0;
+  std::size_t work = 0;
+  for (const IntervalResult& r : pipe.take_results()) {
+    alerts += r.final.size();
+    work += r.epoch.inference_work;
+  }
+  CloseStats s = finish(close_ms, alerts);
+  if (epoch_ms.size() > 2) {
+    epoch_ms.erase(epoch_ms.begin(), epoch_ms.begin() + 2);
+  }
+  s.epoch_p50_ms = percentile(epoch_ms, 0.50);
+  s.epoch_p99_ms = percentile(epoch_ms, 0.99);
+  s.close_stall_us = pipe.close_stall_us();
+  s.epoch_threads = epoch_threads;
+  s.overlapped = true;
+  s.inference_work = work;
+  return s;
 }
 
 CloseStats run_legacy(const Scenario& scenario, const PipelineConfig& pc) {
@@ -197,9 +284,17 @@ CloseStats run_legacy(const Scenario& scenario, const PipelineConfig& pc) {
 void emit(const char* name, const CloseStats& s, bool last = false) {
   std::printf(
       "    \"%s\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": %.4f, "
-      "\"intervals\": %zu, \"final_alerts\": %zu}%s\n",
+      "\"intervals\": %zu, \"final_alerts\": %zu, \"epoch_threads\": %zu",
       name, s.p50_ms, s.p99_ms, s.mean_ms, s.intervals, s.final_alerts,
-      last ? "" : ",");
+      s.epoch_threads);
+  if (s.overlapped) {
+    std::printf(
+        ", \"epoch_p50_ms\": %.4f, \"epoch_p99_ms\": %.4f, "
+        "\"close_stall_us\": %llu",
+        s.epoch_p50_ms, s.epoch_p99_ms,
+        static_cast<unsigned long long>(s.close_stall_us));
+  }
+  std::printf("}%s\n", last ? "" : ",");
 }
 
 int run() {
@@ -218,24 +313,63 @@ int run() {
   const CloseStats fused_4t = run_detector(scenario, pc, 4);
   const CloseStats fused_8t = run_detector(scenario, pc, 8);
 
-  // Determinism sanity: identical alert streams at every thread count.
+  // Double-buffered pipeline: close_interval() percentiles time only the
+  // ingest-blocking seal; the epoch runs off-path (reported separately).
+  const CloseStats overlapped_1r1e = run_overlapped(scenario, pc, 1, 1);
+  const CloseStats overlapped_2r2e = run_overlapped(scenario, pc, 2, 2);
+
+  // Budgeted epoch: same scenario under a hard close-time budget. The
+  // deadline is sized from the default calibration constant; what matters
+  // here is that the run completes, alerts stay deterministic, and the
+  // truncation shows up in the work numbers below.
+  EpochBudget budget;
+  budget.deadline_ms = 2.0;
+  const CloseStats budgeted_1t = run_detector(scenario, pc, 1, budget);
+  const CloseStats budgeted_4t = run_detector(scenario, pc, 4, budget);
+
+  // Determinism sanity: identical alert streams at every thread count, on
+  // both the fused and the budgeted (truncated) path, and the overlapped
+  // pipeline must reproduce the serial alert stream exactly.
   const bool alerts_match = fused_1t.final_alerts == fused_2t.final_alerts &&
                             fused_1t.final_alerts == fused_4t.final_alerts &&
-                            fused_1t.final_alerts == fused_8t.final_alerts;
+                            fused_1t.final_alerts == fused_8t.final_alerts &&
+                            budgeted_1t.final_alerts ==
+                                budgeted_4t.final_alerts;
+  const bool overlapped_matches_serial =
+      overlapped_1r1e.final_alerts == fused_1t.final_alerts &&
+      overlapped_2r2e.final_alerts == fused_1t.final_alerts;
+
+  // Calibration datum for EpochBudget::work_units_per_ms: streaming-search
+  // work units the unbudgeted serial epoch retired per millisecond of close
+  // time on this host.
+  const double total_close_ms =
+      fused_1t.mean_ms * static_cast<double>(fused_1t.intervals);
+  const double work_rate =
+      total_close_ms > 0.0
+          ? static_cast<double>(fused_1t.inference_work) / total_close_ms
+          : 0.0;
 
   std::printf("{\n");
   std::printf("  \"simd_backend\": \"%s\",\n", simd::active_backend());
   std::printf("  \"alerts_match_across_threads\": %s,\n",
               alerts_match ? "true" : "false");
+  std::printf("  \"overlapped_alerts_match_serial\": %s,\n",
+              overlapped_matches_serial ? "true" : "false");
+  std::printf("  \"budget_work_rate_units_per_ms\": %.1f,\n", work_rate);
+  std::printf("  \"budgeted_deadline_ms\": %.1f,\n", budget.deadline_ms);
   std::printf("  \"configs\": {\n");
   emit("legacy_scalar", legacy_scalar);
   emit("legacy", legacy);
   emit("fused_1t", fused_1t);
   emit("fused_2t", fused_2t);
   emit("fused_4t", fused_4t);
-  emit("fused_8t", fused_8t, /*last=*/true);
+  emit("fused_8t", fused_8t);
+  emit("budgeted_1t", budgeted_1t);
+  emit("budgeted_4t", budgeted_4t);
+  emit("overlapped_1r1e", overlapped_1r1e);
+  emit("overlapped_2r2e", overlapped_2r2e, /*last=*/true);
   std::printf("  }\n}\n");
-  return alerts_match ? 0 : 1;
+  return alerts_match && overlapped_matches_serial ? 0 : 1;
 }
 
 }  // namespace

@@ -5,9 +5,11 @@
 // wait_idle() at each dependency barrier. Unlike the recording path's
 // ParallelRecorder (whose workers own SPSC rings and live for the pipeline's
 // lifetime), epoch tasks are coarse and few, so a plain mutex+condvar queue
-// is plenty — and because recording and detection never overlap in time, the
-// epoch pool can use the same thread budget the recorder was granted without
-// oversubscribing the host.
+// is plenty. Under the double-buffered pipeline (detect/overlapped.hpp) the
+// epoch for interval N runs on this pool WHILE interval N+1 records; the
+// pool's workers occupy the interval's otherwise-idle close-time slots, and
+// the streaming-inference drivers yield between chunks (see pending()) so a
+// small pool still interleaves all three inferences.
 //
 // Determinism: the pool imposes no ordering between queued tasks, so callers
 // must make tasks write to disjoint result slots and sequence any dependent
@@ -51,11 +53,22 @@ class TaskPool {
   /// Worker count (0 in inline mode).
   std::size_t threads() const { return workers_.size(); }
 
+  /// Tasks queued but not yet picked up by a worker (always 0 in inline
+  /// mode). A point-in-time hint, not a synchronization primitive: chunked
+  /// long-running tasks (the streaming-inference drivers) use it to decide
+  /// whether to yield their slot — re-enqueue their continuation so a
+  /// waiting task can interleave — or keep running on an otherwise idle
+  /// pool. The decision affects only scheduling, never results.
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
  private:
   void worker_loop();
   void record_exception(std::exception_ptr e);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;

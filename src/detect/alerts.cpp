@@ -42,6 +42,20 @@ std::string CoverageReport::describe() const {
   return out;
 }
 
+std::string EpochReport::describe() const {
+  if (!budgeted) return "epoch unbudgeted (complete)";
+  std::string out = "epoch budget " + std::to_string(inference_work) + "/" +
+                    std::to_string(work_budget) + " work units";
+  if (!truncated) return out + " (complete)";
+  out += " TRUNCATED";
+  if (heavy_buckets_dropped > 0) {
+    out += ", dropped " + std::to_string(heavy_buckets_dropped) +
+           " heavy buckets";
+  }
+  if (candidates_truncated) out += ", candidate set cut short";
+  return out;
+}
+
 std::size_t IntervalResult::count(const std::vector<Alert>& alerts,
                                   AttackType type) {
   return static_cast<std::size_t>(

@@ -71,6 +71,31 @@ struct CoverageReport {
   std::string describe() const;
 };
 
+/// Close-time degradation report: whether the detection epoch ran under a
+/// latency budget and what, if anything, it truncated to stay inside it.
+///
+/// The budget (HifindDetectorConfig::budget) bounds the reverse-inference
+/// burst deterministically — work is metered in search steps, never wall
+/// time — so `truncated` is a pure function of the interval's bank and the
+/// configuration: the same traffic yields the same (possibly degraded) alert
+/// set at any epoch thread count. When `truncated` is false the alerts are
+/// bit-identical to an unbudgeted run; consumers should treat a truncated
+/// interval like a degraded-coverage one (the alert set is a deterministic
+/// subset biased toward the LARGEST anomalies, which the top-N heavy-bucket
+/// cap keeps by construction).
+struct EpochReport {
+  bool budgeted{false};    ///< latency-budget mode was active
+  bool truncated{false};   ///< any cap tripped (work, candidates, buckets)
+  std::size_t inference_work{0};         ///< work units spent, all inferences
+  std::size_t work_budget{0};            ///< per-epoch cap (0 = unlimited)
+  std::size_t heavy_buckets_dropped{0};  ///< dropped by the top-N stage cap
+  bool candidates_truncated{false};      ///< max_candidates or work cap hit
+
+  bool operator==(const EpochReport&) const = default;
+
+  std::string describe() const;
+};
+
 /// Phase-by-phase outcome of one detection interval (paper Table 4 layout):
 /// raw three-step output, after 2D-sketch scan screening, after the SYN-flood
 /// false-positive heuristics.
@@ -82,6 +107,9 @@ struct IntervalResult {
   /// Collection quality behind this interval's bank; defaults to the clean
   /// single-vantage report.
   CoverageReport coverage;
+  /// Close-time budget/truncation report; default means "ran to completion".
+  /// Warm-up intervals (no alerts yet) keep the default report.
+  EpochReport epoch;
 
   /// Count of alerts of a type within one phase's list.
   static std::size_t count(const std::vector<Alert>& alerts, AttackType type);

@@ -8,23 +8,6 @@
 namespace hifind {
 namespace {
 
-/// Inference with the paired verification sketch screening candidates inside
-/// the search (removes near-collision and cross-product artifacts before
-/// they count toward the candidate cap). Starts from the heavy-bucket lists
-/// the fused forecaster pass already collected.
-std::vector<HeavyKey> infer_verified(const ReversibleSketch& error,
-                                     const KarySketch& verif_error,
-                                     double threshold,
-                                     InferenceOptions options,
-                                     StageBuckets stage_buckets) {
-  options.verifier = [&verif_error, threshold](std::uint64_t key,
-                                               double /*estimate*/) {
-    return verif_error.estimate(key) >= threshold;
-  };
-  return infer_heavy_keys(error, threshold, options, std::move(stage_buckets))
-      .keys;
-}
-
 template <class SketchT>
 std::unique_ptr<Forecaster<SketchT>> build_forecaster(
     const HifindDetectorConfig& c, SketchArena<SketchT>* arena) {
@@ -98,31 +81,76 @@ IntervalResult HifindDetector::process(const SketchBank& bank,
   }
 
   // Stage B — the three verified inferences are independent of each other;
-  // only the set logic joining their outputs (phase 1) is sequential.
-  std::vector<HeavyKey> keys_dip_dport;
-  std::vector<HeavyKey> keys_sip_dip;
-  std::vector<HeavyKey> keys_sip_dport;
-  pool_->submit([&, t] {
-    keys_dip_dport = infer_verified(*e_dip_dport, *ev_dip_dport, t,
-                                    config_.inference, std::move(hb_dip_dport_));
-  });
-  pool_->submit([&, t] {
-    keys_sip_dip = infer_verified(*e_sip_dip, *ev_sip_dip, t,
-                                  config_.inference, std::move(hb_sip_dip_));
-  });
-  pool_->submit([&, t] {
-    keys_sip_dport = infer_verified(*e_sip_dport, *ev_sip_dport, t,
-                                    config_.inference, std::move(hb_sip_dport_));
-  });
+  // only the set logic joining their outputs (phase 1) is sequential. Each
+  // runs as a streaming search driven in bounded chunks (drive_inference) so
+  // attack-heavy reversal bursts interleave across the pool instead of
+  // serializing behind one long task. Budget mode converts the deadline to
+  // a deterministic work cap split evenly over the three searches.
+  InferenceOptions opts = config_.inference;
+  std::size_t work_budget = 0;
+  if (config_.budget.enabled()) {
+    work_budget = config_.budget.work_budget();
+    opts.max_work = work_budget / 3;
+    if (config_.budget.max_heavy_per_stage != 0) {
+      opts.max_heavy_per_stage =
+          opts.max_heavy_per_stage == 0
+              ? config_.budget.max_heavy_per_stage
+              : std::min(opts.max_heavy_per_stage,
+                         config_.budget.max_heavy_per_stage);
+    }
+  }
+  auto begin_inference = [&](std::size_t slot, const ReversibleSketch& error,
+                             const KarySketch& verif, StageBuckets& buckets) {
+    InferenceOptions o = opts;
+    o.verifier = [&verif, t](std::uint64_t key, double /*estimate*/) {
+      return verif.estimate(key) >= t;
+    };
+    inference_[slot].begin(error, t, o, std::move(buckets));
+    pool_->submit([this, slot] { drive_inference(slot); });
+  };
+  begin_inference(0, *e_dip_dport, *ev_dip_dport, hb_dip_dport_);
+  begin_inference(1, *e_sip_dip, *ev_sip_dip, hb_sip_dip_);
+  begin_inference(2, *e_sip_dport, *ev_sip_dport, hb_sip_dport_);
   pool_->wait_idle();
 
-  result.raw = phase1(interval, keys_dip_dport, keys_sip_dip, keys_sip_dport);
+  result.epoch.budgeted = config_.budget.enabled();
+  result.epoch.work_budget = work_budget;
+  for (const InferenceResult& r : inference_result_) {
+    result.epoch.inference_work += r.work_used;
+    result.epoch.heavy_buckets_dropped += r.heavy_buckets_dropped;
+    result.epoch.candidates_truncated |= r.truncated || r.work_exhausted;
+  }
+  result.epoch.truncated = result.epoch.candidates_truncated ||
+                           result.epoch.heavy_buckets_dropped > 0;
+
+  result.raw = phase1(interval, inference_result_[0].keys,
+                      inference_result_[1].keys, inference_result_[2].keys);
   result.after_2d =
       config_.enable_phase2 ? phase2(bank, result.raw) : result.raw;
   result.final = config_.enable_phase3
                      ? phase3(bank, e_os, result.after_2d)
                      : result.after_2d;
   return result;
+}
+
+void HifindDetector::drive_inference(std::size_t slot) {
+  // Chunk quantum: large enough that re-enqueue overhead is noise, small
+  // enough that an attack-heavy search yields to waiting tasks every few
+  // hundred microseconds. Affects scheduling only, never results.
+  constexpr std::size_t kChunkWork = std::size_t{1} << 15;
+  StreamingInference& engine = inference_[slot];
+  for (;;) {
+    if (engine.run_chunk(kChunkWork)) {
+      inference_result_[slot] = engine.take_result();
+      return;
+    }
+    if (pool_->threads() > 0 && pool_->pending() > 0) {
+      // Other tasks are starving behind this search: put the continuation at
+      // the back of the queue and free the slot.
+      pool_->submit([this, slot] { drive_inference(slot); });
+      return;
+    }
+  }
 }
 
 IntervalResult HifindDetector::process(const SketchBank& bank,

@@ -16,6 +16,7 @@
 // the alerts a single monitor seeing all traffic would have produced.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,41 @@
 #include "sketch/sketch_arena.hpp"
 
 namespace hifind {
+
+/// Hard close-time latency budget: bounds one epoch's reverse-inference
+/// burst so an attack-heavy interval degrades deterministically instead of
+/// stalling the detector for seconds (the paper's DoS-resilience claim,
+/// applied to the detector itself).
+///
+/// The deadline converts to a SEARCH-WORK budget via a fixed calibration
+/// constant, and enforcement meters search steps — never wall time — so the
+/// truncated alert set is a pure function of (bank, config): identical at
+/// any epoch thread count, chunk size, or host speed. When no cap trips,
+/// alerts are bit-identical to an unbudgeted run (IntervalResult::epoch
+/// reports which case occurred).
+struct EpochBudget {
+  /// Per-epoch deadline. 0 disables budget mode entirely.
+  double deadline_ms{0.0};
+  /// Deterministic calibration from deadline to search work: work units the
+  /// inference search retires per millisecond (one unit ~ one heavy bucket
+  /// regrouped at a DFS node). Deliberately a config constant rather than a
+  /// measured rate — see the determinism contract above. Calibrate per
+  /// deployment from BENCH_detect_epoch.json's `budget_work_rate` line.
+  double work_units_per_ms{25000.0};
+  /// Stage-level degradation: in budget mode each inference also caps its
+  /// per-stage heavy buckets to this top-N (largest value, bucket-index
+  /// tie-break), bounding the search tree before the work meter has to and
+  /// biasing a truncated epoch toward the LARGEST anomalies. 0 = off.
+  std::size_t max_heavy_per_stage{128};
+
+  bool enabled() const { return deadline_ms > 0.0; }
+  /// Total work budget for one epoch, split evenly over the 3 inferences.
+  std::size_t work_budget() const {
+    return enabled()
+               ? static_cast<std::size_t>(deadline_ms * work_units_per_ms)
+               : 0;
+  }
+};
 
 /// Detection-stage tuning. Defaults follow paper Sec. 5.1 where stated.
 struct HifindDetectorConfig {
@@ -61,13 +97,17 @@ struct HifindDetectorConfig {
 
   /// Worker threads for the interval-close epoch (forecaster steps and
   /// per-sketch inference preludes run as parallel tasks). 1 = serial
-  /// (inline, no worker threads); 0 = auto: min(hardware threads, 8) — the
-  /// same budget a ParallelRecorder would claim, which is safe to reuse
-  /// because recording and interval close never overlap in time. Alerts are
-  /// bit-identical across thread counts: tasks write disjoint slots, joins
-  /// happen in a fixed order, and the kernels are bit-exact on every
-  /// backend.
+  /// (inline, no worker threads); 0 = auto: min(hardware threads, 8).
+  /// Under the double-buffered pipeline (detect/overlapped.hpp) the epoch
+  /// overlaps the next interval's recording, so size this against the
+  /// recorder's thread budget rather than assuming exclusive use of the
+  /// host. Alerts are bit-identical across thread counts: tasks write
+  /// disjoint slots, joins happen in a fixed order, and the kernels are
+  /// bit-exact on every backend.
   std::size_t epoch_threads{0};
+
+  /// Close-time latency budget; disabled by default (run to completion).
+  EpochBudget budget{};
 
   /// Alert threshold for one interval, in un-responded SYNs.
   double interval_threshold() const {
@@ -101,6 +141,13 @@ class HifindDetector {
 
  private:
   void ensure_pool();
+  /// Chunked driver for one streaming inference engine: runs the search in
+  /// bounded work quanta, re-enqueuing its continuation whenever other tasks
+  /// are waiting so a small pool interleaves all three inferences (and, in
+  /// the overlapped pipeline, spreads an attack-heavy reversal burst across
+  /// the next interval's idle pool slots). Scheduling choices never affect
+  /// results — truncation keys off the deterministic work meter alone.
+  void drive_inference(std::size_t slot);
   std::vector<Alert> phase1(std::uint64_t interval,
                             const std::vector<HeavyKey>& keys_dip_dport,
                             const std::vector<HeavyKey>& keys_sip_dip,
@@ -126,6 +173,11 @@ class HifindDetector {
   StageBuckets hb_sip_dport_;
   StageBuckets hb_dip_dport_;
   StageBuckets hb_sip_dip_;
+  /// Stage-B streaming inference engines and their per-interval results
+  /// (slot order: dip_dport, sip_dip, sip_dport). Long-lived so the DFS
+  /// workspaces reach an allocation-free steady state.
+  std::array<StreamingInference, 3> inference_;
+  std::array<InferenceResult, 3> inference_result_;
   /// Step-2 provenance for the current interval: the victim DIP that put
   /// each source into FLOODING_SIP_SET. Phase 3 uses it to drop non-spoofed
   /// flooding alerts whose victim's own flood alert was filtered out (e.g.

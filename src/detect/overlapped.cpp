@@ -1,0 +1,125 @@
+#include "detect/overlapped.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace hifind {
+
+OverlappedPipeline::OverlappedPipeline(const OverlappedPipelineConfig& config)
+    : config_(config),
+      bank_a_(config.bank),
+      bank_b_(config.bank),
+      active_(&bank_a_),
+      spare_(&bank_b_),
+      detector_(config.detector),
+      recorder_(bank_a_, config.record_threads, config.ring_capacity) {
+  epoch_thread_ = std::thread([this] { epoch_loop(); });
+}
+
+OverlappedPipeline::~OverlappedPipeline() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !epoch_busy_; });
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (epoch_thread_.joinable()) epoch_thread_.join();
+}
+
+void OverlappedPipeline::offer(const PacketRecord& p, double weight) {
+  recorder_.offer(p, weight);
+}
+
+void OverlappedPipeline::rethrow_epoch_error_locked() {
+  if (epoch_error_) {
+    std::exception_ptr e = std::exchange(epoch_error_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void OverlappedPipeline::close_interval() {
+  using Clock = std::chrono::steady_clock;
+
+  // 1. Backpressure point: the previous epoch gets the whole interval to
+  //    finish; if it is still running now, the seal must wait for it (the
+  //    spare generation is its input). This wait is the ONLY place the
+  //    epoch can block ingest, and it is measured.
+  {
+    const Clock::time_point t0 = Clock::now();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (epoch_busy_) {
+      cv_.wait(lock, [this] { return !epoch_busy_; });
+      close_stall_us_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                t0)
+              .count());
+    }
+    rethrow_epoch_error_locked();
+  }
+
+  // 2. Seal generation `active_`: every offered packet applied.
+  recorder_.drain();
+
+  // 3. Prepare the spare generation for the next interval. clear() drops
+  //    its two-intervals-old per-interval counters; the history sync keeps
+  //    the lifetime SYN/ACK state identical to a serially reused bank.
+  spare_->clear();
+  spare_->sync_history_from(*active_);
+
+  // 4. Resume ingest into the spare generation.
+  recorder_.rebind(*spare_);
+  std::swap(active_, spare_);
+
+  // 5. Kick the sealed generation's epoch (now pointed to by spare_).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_bank_ = spare_;
+    epoch_interval_ = interval_++;
+    epoch_busy_ = true;
+  }
+  cv_.notify_all();
+}
+
+void OverlappedPipeline::wait_epoch_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !epoch_busy_; });
+  rethrow_epoch_error_locked();
+}
+
+std::vector<IntervalResult> OverlappedPipeline::take_results() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(results_, {});
+}
+
+void OverlappedPipeline::epoch_loop() {
+  for (;;) {
+    const SketchBank* bank = nullptr;
+    std::uint64_t interval = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || epoch_busy_; });
+      if (stop_ && !epoch_busy_) return;
+      bank = epoch_bank_;
+      interval = epoch_interval_;
+    }
+    IntervalResult result;
+    std::exception_ptr error;
+    try {
+      result = detector_.process(*bank, interval);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error) {
+        if (!epoch_error_) epoch_error_ = error;
+      } else {
+        results_.push_back(std::move(result));
+      }
+      epoch_busy_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace hifind

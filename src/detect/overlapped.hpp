@@ -1,0 +1,133 @@
+// OverlappedPipeline: double-buffered recording + background detection.
+//
+// The serial pipeline (record -> drain -> process -> clear) blocks ingest
+// for the whole detection epoch at every interval close; on attack-heavy
+// intervals the reverse-inference burst makes that a multi-second stall —
+// exactly the window an adversary wants the monitor blind in. This pipeline
+// removes the epoch from the ingest path with two SketchBank GENERATIONS:
+//
+//   close_interval():
+//     1. wait for the PREVIOUS epoch to finish (normally instant — an epoch
+//        has a whole interval, e.g. 60 s, to complete; time spent here is
+//        backpressure and is surfaced via close_stall_us()),
+//     2. drain the recorder (all of interval N applied to generation A),
+//     3. prepare generation B: clear per-interval counters, then copy A's
+//        cumulative SYN/ACK service history bit-exactly
+//        (SketchBank::sync_history_from) so B starts the next interval with
+//        the same lifetime state a single-bank deployment would carry,
+//     4. rebind the recorder to B — ingest resumes immediately,
+//     5. hand generation A to the dedicated epoch thread, which runs
+//        HifindDetector::process in the background while interval N+1
+//        records into B.
+//
+// The epoch runs on its own thread (not a detector-pool worker) so the
+// detector's wait_idle() joins inside process() can never deadlock against
+// the coordinator; the detector's epoch_threads pool still parallelizes the
+// work inside the epoch, and the streaming-inference drivers chunk the
+// reversal sweep so a burst spreads across that pool's idle slots.
+//
+// Determinism: every stage of the epoch is bit-exact and the generations
+// are kept semantically identical to one serially reused bank (history
+// sync, exact seal via rebind-after-drain), so the alert stream is
+// bit-identical to the serial pipeline on the same packet stream — tested.
+//
+// Usage:
+//   OverlappedPipeline pipe(cfg);
+//   for (interval) {
+//     for (packet : interval) pipe.offer(packet);
+//     pipe.close_interval();          // blocks ~drain time, not epoch time
+//   }
+//   pipe.wait_epoch_idle();
+//   for (IntervalResult& r : pipe.take_results()) ...
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "detect/hifind.hpp"
+#include "detect/parallel_recorder.hpp"
+#include "detect/sketch_bank.hpp"
+
+namespace hifind {
+
+struct OverlappedPipelineConfig {
+  SketchBankConfig bank{};
+  HifindDetectorConfig detector{};
+  /// Recording worker threads (ParallelRecorder). The epoch thread and the
+  /// detector's epoch pool run CONCURRENTLY with these during an interval,
+  /// so budget the sum against the host, not each piece separately.
+  unsigned record_threads{2};
+  std::size_t ring_capacity{ParallelRecorder::kDefaultRingCapacity};
+};
+
+class OverlappedPipeline {
+ public:
+  explicit OverlappedPipeline(const OverlappedPipelineConfig& config);
+  /// Joins the epoch thread; any interval not yet closed is discarded.
+  ~OverlappedPipeline();
+
+  OverlappedPipeline(const OverlappedPipeline&) = delete;
+  OverlappedPipeline& operator=(const OverlappedPipeline&) = delete;
+
+  /// Enqueues one packet into the current interval.
+  void offer(const PacketRecord& p, double weight = 1.0);
+
+  /// Seals the current interval and kicks its detection epoch off in the
+  /// background. Blocks only for the seal itself (previous-epoch
+  /// backpressure + recorder drain + history sync + rebind), NOT for the
+  /// epoch. Rethrows any exception the previous epoch raised.
+  void close_interval();
+
+  /// Blocks until the in-flight epoch (if any) has finished; rethrows its
+  /// exception, if any. Call before take_results() at end of stream.
+  void wait_epoch_idle();
+
+  /// Moves out every finished IntervalResult, in interval order (the single
+  /// epoch thread finishes epochs in submission order). Call after
+  /// wait_epoch_idle() for a complete set.
+  std::vector<IntervalResult> take_results();
+
+  /// Total microseconds close_interval() spent waiting for a previous epoch
+  /// that was still running — the pipeline's backpressure signal. 0 means
+  /// every epoch finished within its interval and ingest never waited on
+  /// detection.
+  std::uint64_t close_stall_us() const { return close_stall_us_; }
+
+  std::uint64_t intervals_closed() const { return interval_; }
+  const HifindDetectorConfig& detector_config() const {
+    return detector_.config();
+  }
+
+ private:
+  void epoch_loop();
+  /// Pre: caller holds mu_. Rethrows and clears a stored epoch exception.
+  void rethrow_epoch_error_locked();
+
+  OverlappedPipelineConfig config_;
+  SketchBank bank_a_;
+  SketchBank bank_b_;
+  SketchBank* active_;  ///< generation the recorder currently fills
+  SketchBank* spare_;   ///< generation the background epoch reads (or idle)
+  HifindDetector detector_;  ///< epoch-thread only, after construction
+  ParallelRecorder recorder_;
+  std::uint64_t interval_{0};
+  std::uint64_t close_stall_us_{0};
+
+  /// Epoch-thread mailbox: close_interval() posts (bank, interval) under
+  /// mu_; the epoch thread processes it and posts the result back.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool epoch_busy_{false};
+  bool stop_{false};
+  const SketchBank* epoch_bank_{nullptr};
+  std::uint64_t epoch_interval_{0};
+  std::vector<IntervalResult> results_;
+  std::exception_ptr epoch_error_;
+  std::thread epoch_thread_;
+};
+
+}  // namespace hifind

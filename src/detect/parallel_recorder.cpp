@@ -29,7 +29,7 @@ inline void backoff(unsigned& spins) {
 
 ParallelRecorder::ParallelRecorder(SketchBank& bank, unsigned num_threads,
                                    std::size_t ring_capacity)
-    : bank_(bank),
+    : bank_(&bank),
       capacity_(std::bit_ceil(std::max<std::size_t>(ring_capacity, 2))) {
   const unsigned n = std::clamp(num_threads, 1u,
                                 SketchBank::kNumSketchGroups);
@@ -129,6 +129,11 @@ void ParallelRecorder::drain() {
   }
 }
 
+void ParallelRecorder::rebind(SketchBank& bank) {
+  drain();  // every op already offered lands in the OLD bank
+  bank_.store(&bank, std::memory_order_relaxed);
+}
+
 void ParallelRecorder::run_worker(Worker& w) {
   const std::size_t mask = capacity_ - 1;
   unsigned spins = 0;
@@ -144,12 +149,17 @@ void ParallelRecorder::run_worker(Worker& w) {
       continue;
     }
     spins = 0;
+    // The tail acquire above also publishes any rebind() that preceded the
+    // ops: rebind() stores the pointer on the producer thread before the
+    // next publish()'s tail release, so this load always names the bank the
+    // producer intended for this run.
+    SketchBank* bank = bank_.load(std::memory_order_relaxed);
     // Consume the published run in at most two contiguous pieces (the run
     // may wrap the ring's physical end), applying straight from the slots.
     while (head != tail) {
       const std::size_t i = head & mask;
       const std::size_t run = std::min(tail - head, capacity_ - i);
-      bank_.record_ops(std::span<const RecordOp>(&w.slots[i], run),
+      bank->record_ops(std::span<const RecordOp>(&w.slots[i], run),
                        w.group_mask);
       head += run;
       w.head.store(head, std::memory_order_release);

@@ -13,12 +13,17 @@
 // the bank's final state is BIT-IDENTICAL to a serial record() of the same
 // stream.
 //
-// Usage:
+// Usage (serial close):
 //   ParallelRecorder rec(bank, 4);
 //   for (packet : interval) rec.offer(packet);
 //   rec.drain();                 // barrier: all packets applied
 //   detector.process(bank, i);   // bank is now safe to read
 //   bank.clear();
+//
+// Under the double-buffered pipeline (detect/overlapped.hpp) the recorder
+// instead rebind()s to the spare bank generation at each interval seal, so
+// recording resumes immediately while the sealed generation's detection
+// epoch runs in the background.
 #pragma once
 
 #include <atomic>
@@ -64,6 +69,15 @@ class ParallelRecorder {
   /// while it waits.
   void drain();
 
+  /// Atomically retargets the recorder at a new bank generation. Drains
+  /// first, so every previously offered packet lands in the OLD bank, and
+  /// every packet offered after rebind() lands in the new one — the seal is
+  /// exact. Caller-thread only (same thread as offer()/drain()); workers
+  /// pick up the new target through the ring's existing release/acquire
+  /// edge, so no extra synchronization is needed. The old bank is safe to
+  /// read the moment rebind() returns.
+  void rebind(SketchBank& bank);
+
   /// Times drain() exhausted its spin budget and had to yield or sleep.
   /// Stays 0 when workers keep up; a growing value under steady load means
   /// the consumer side is the bottleneck (or a worker is wedged).
@@ -102,7 +116,11 @@ class ParallelRecorder {
   void publish(Worker& w, const RecordOp* ops, std::size_t n);
   void flush_pending();
 
-  SketchBank& bank_;
+  /// Current target bank. Plain-relaxed atomics suffice: rebind() stores it
+  /// on the producer thread after drain() (rings empty), and workers load it
+  /// only after acquiring a tail advance that was released after the store,
+  /// so the pointer is never read concurrently with its update.
+  std::atomic<SketchBank*> bank_;
   std::size_t capacity_;  ///< ring capacity, power of two
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<RecordOp> pending_;  ///< producer-side op batch

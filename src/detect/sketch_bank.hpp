@@ -100,6 +100,16 @@ class SketchBank {
   /// Resets everything including lifetime history (trace restart).
   void reset_all();
 
+  /// Overwrites this bank's cumulative SYN/ACK service history with a
+  /// bit-exact copy of `other`'s. The double-buffered pipeline
+  /// (detect/overlapped.hpp) alternates between two bank generations, so
+  /// each generation only witnesses every other interval; syncing at the
+  /// generation swap keeps the lifetime history — the one piece of bank
+  /// state that outlives clear() — identical to what a single-bank serial
+  /// deployment would carry, which is what keeps the misconfiguration
+  /// filter's decisions (and therefore the alerts) bit-identical.
+  void sync_history_from(const SketchBank& other);
+
   bool combinable_with(const SketchBank& other) const {
     return config_ == other.config_;
   }

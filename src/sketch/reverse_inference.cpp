@@ -1,185 +1,53 @@
 #include "sketch/reverse_inference.hpp"
 
+#include <algorithm>
 #include <bit>
-#include <span>
 
 namespace hifind {
 namespace {
 
-/// DFS machinery. Works entirely in mangled-key space; unmangles at leaves.
-///
-/// Performance note: a node's per-stage "consistent heavy buckets" are
-/// grouped by their sub-index at the current word position; every child
-/// byte's per-stage subset is then exactly one of those groups (the one its
-/// word hash selects). Children therefore hold std::spans into the parent's
-/// grouping storage — which lives on the stack across the recursion — and
-/// the whole search performs no per-branch copying.
-class InferenceSearch {
- public:
-  InferenceSearch(const ReversibleSketch& sketch, double threshold,
-                  const InferenceOptions& options,
-                  std::vector<std::vector<std::uint32_t>> stage_buckets)
-      : sketch_(sketch),
-        threshold_(threshold),
-        options_(options),
-        num_stages_(sketch.config().num_stages),
-        num_words_(sketch.config().num_words()),
-        bits_per_word_(sketch.config().bits_per_word()),
-        sub_range_(std::size_t{1} << bits_per_word_),
-        // Quorum of at least one stage, and the miss-count planes hold at
-        // most 15 stages / misses up to 7 in the <=r formula.
-        effective_slack_(
-            std::min(options.stage_slack,
-                     std::min<std::size_t>(num_stages_ - 1, 7))),
-        roots_(std::move(stage_buckets)) {
-    // One reusable workspace per depth: DFS holds exactly one active node
-    // per level, so sibling nodes can share grouping storage. clear() keeps
-    // vector capacity, making interior nodes allocation-free after warmup.
-    levels_.resize(static_cast<std::size_t>(num_words_));
-    for (auto& level : levels_) {
-      level.groups.resize(num_stages_ * sub_range_);
-      level.child.resize(num_stages_);
+/// Pops (and returns) the lowest set bit of a 256-bit mask, or -1 when the
+/// mask is empty. Ascending byte order keeps the DFS traversal — and with it
+/// every truncation decision — deterministic.
+int pop_lowest_byte(std::array<std::uint64_t, 4>& mask) {
+  for (int i = 0; i < 4; ++i) {
+    if (mask[i] != 0) {
+      const int bit = std::countr_zero(mask[i]);
+      mask[i] &= mask[i] - 1;
+      return i * 64 + bit;
     }
   }
+  return -1;
+}
 
-  InferenceResult run() {
-    InferenceResult result;
-    for (const auto& b : roots_) result.heavy_bucket_total += b.size();
-
-    // A key must be heavy in >= H - r stages; if fewer stages have any heavy
-    // bucket at all, nothing can qualify.
-    std::size_t alive = 0;
-    for (const auto& b : roots_) alive += b.empty() ? 0 : 1;
-    if (alive + effective_slack_ < num_stages_) return result;
-
-    std::vector<std::span<const std::uint32_t>> consistent(num_stages_);
-    for (std::size_t h = 0; h < num_stages_; ++h) consistent[h] = roots_[h];
-    descend(0, 0, consistent, result);
-    return result;
+/// Top-N-anomalies mode: keep each stage's largest buckets only. Ties on
+/// bucket value break toward the lower bucket index, so the kept set is a
+/// deterministic function of the sketch (partial_sort alone leaves
+/// equal-valued buckets in unspecified order). Returns the number of heavy
+/// buckets dropped across all stages.
+std::size_t apply_top_n(const ReversibleSketch& sketch,
+                        const InferenceOptions& options,
+                        std::vector<std::vector<std::uint32_t>>& buckets) {
+  if (options.max_heavy_per_stage == 0) return 0;
+  std::size_t dropped = 0;
+  for (std::size_t h = 0; h < buckets.size(); ++h) {
+    auto& stage = buckets[h];
+    if (stage.size() <= options.max_heavy_per_stage) continue;
+    std::partial_sort(
+        stage.begin(),
+        stage.begin() +
+            static_cast<std::ptrdiff_t>(options.max_heavy_per_stage),
+        stage.end(), [&](std::uint32_t a, std::uint32_t b) {
+          const double va = sketch.bucket_value(h, a);
+          const double vb = sketch.bucket_value(h, b);
+          return va > vb || (va == vb && a < b);
+        });
+    dropped += stage.size() - options.max_heavy_per_stage;
+    stage.resize(options.max_heavy_per_stage);
+    std::sort(stage.begin(), stage.end());
   }
-
- private:
-  using BucketSpan = std::span<const std::uint32_t>;
-
-  /// Sub-index of bucket `index` at word position w (word 0 = MSB block).
-  std::uint32_t sub_index(std::uint32_t index, int w) const {
-    const int shift = bits_per_word_ * (num_words_ - 1 - w);
-    return (index >> shift) & ((1u << bits_per_word_) - 1u);
-  }
-
-  void descend(int word, std::uint64_t prefix,
-               const std::vector<BucketSpan>& consistent,
-               InferenceResult& result) {
-    if (result.truncated) return;
-    if (word == num_words_) {
-      emit(prefix, consistent, result);
-      return;
-    }
-
-    // Group each stage's consistent buckets by their sub-index at this word.
-    // groups[h * sub_range_ + v] = buckets with sub-index v in stage h.
-    auto& groups = levels_[static_cast<std::size_t>(word)].groups;
-    for (auto& g : groups) g.clear();
-    for (std::size_t h = 0; h < num_stages_; ++h) {
-      for (const std::uint32_t b : consistent[h]) {
-        groups[h * sub_range_ + sub_index(b, word)].push_back(b);
-      }
-    }
-
-    // Viable bytes via 256-bit masks: a byte keeps stage h alive iff its
-    // word-hash value selects a non-empty group, i.e. iff it is in the union
-    // of those values' preimage masks. Count per-byte stage MISSES with a
-    // bit-sliced ripple adder (num_stages <= 15 => 4 planes) and keep bytes
-    // with miss count <= stage_slack. This replaces the 256 x H inner loop
-    // with ~40 word-wide ops per node.
-    std::array<std::uint64_t, 4> miss0{}, miss1{}, miss2{}, miss3{};
-    for (std::size_t h = 0; h < num_stages_; ++h) {
-      std::array<std::uint64_t, 4> alive_mask{};
-      const WordHash& wh = sketch_.word_hash(h, word);
-      for (std::size_t v = 0; v < sub_range_; ++v) {
-        if (groups[h * sub_range_ + v].empty()) continue;
-        const auto& m = wh.preimage_mask(static_cast<std::uint8_t>(v));
-        for (int i = 0; i < 4; ++i) alive_mask[i] |= m[i];
-      }
-      for (int i = 0; i < 4; ++i) {
-        std::uint64_t carry = ~alive_mask[i];  // this stage's misses
-        std::uint64_t t = miss0[i] & carry;
-        miss0[i] ^= carry;
-        carry = t;
-        t = miss1[i] & carry;
-        miss1[i] ^= carry;
-        carry = t;
-        t = miss2[i] & carry;
-        miss2[i] ^= carry;
-        carry = t;
-        miss3[i] |= carry;
-      }
-    }
-    std::array<std::uint64_t, 4> viable{};
-    for (int i = 0; i < 4; ++i) {
-      std::uint64_t le = 0;
-      for (std::size_t r = 0; r <= effective_slack_; ++r) {
-        le |= ((r & 1) ? miss0[i] : ~miss0[i]) &
-              ((r & 2) ? miss1[i] : ~miss1[i]) &
-              ((r & 4) ? miss2[i] : ~miss2[i]) & ~miss3[i];
-      }
-      viable[i] = le;
-    }
-
-    auto& child = levels_[static_cast<std::size_t>(word)].child;
-    for (int i = 0; i < 4; ++i) {
-      std::uint64_t bits = viable[i];
-      while (bits != 0) {
-        const int bit = std::countr_zero(bits);
-        bits &= bits - 1;
-        const auto byte = static_cast<std::size_t>(i * 64 + bit);
-        for (std::size_t h = 0; h < num_stages_; ++h) {
-          const std::uint8_t v =
-              sketch_.word_hash(h, word).map(static_cast<std::uint8_t>(byte));
-          child[h] = groups[h * sub_range_ + v];
-        }
-        descend(word + 1, (prefix << 8) | byte, child, result);
-        if (result.truncated) return;
-      }
-    }
-  }
-
-  void emit(std::uint64_t mangled, const std::vector<BucketSpan>& consistent,
-            InferenceResult& result) {
-    // At a leaf every surviving stage pins the key to exactly the bucket it
-    // hashed into; count survivors once more (defensive — descend() already
-    // pruned below the quorum).
-    std::size_t alive = 0;
-    for (const auto& b : consistent) alive += b.empty() ? 0 : 1;
-    if (alive + effective_slack_ < num_stages_) return;
-
-    const std::uint64_t key = sketch_.mangler().unmangle(mangled);
-    const double est = sketch_.estimate(key);
-    if (est < threshold_) return;  // median across ALL stages must agree
-    if (options_.verifier && !options_.verifier(key, est)) return;
-    if (result.keys.size() >= options_.max_candidates) {
-      result.truncated = true;
-      return;
-    }
-    result.keys.push_back(HeavyKey{key, est});
-  }
-
-  const ReversibleSketch& sketch_;
-  double threshold_;
-  const InferenceOptions& options_;
-  std::size_t num_stages_;
-  int num_words_;
-  int bits_per_word_;
-  std::size_t sub_range_;
-  std::size_t effective_slack_;
-  std::vector<std::vector<std::uint32_t>> roots_;
-
-  struct LevelWorkspace {
-    std::vector<std::vector<std::uint32_t>> groups;
-    std::vector<BucketSpan> child;
-  };
-  std::vector<LevelWorkspace> levels_;
-};
+  return dropped;
+}
 
 }  // namespace
 
@@ -200,34 +68,194 @@ std::vector<std::vector<std::uint32_t>> heavy_buckets(
   return out;
 }
 
-namespace {
-
-/// Top-N-anomalies mode: keep each stage's largest buckets only. Ties on
-/// bucket value break toward the lower bucket index, so the kept set is a
-/// deterministic function of the sketch (partial_sort alone leaves
-/// equal-valued buckets in unspecified order).
-void apply_top_n(const ReversibleSketch& sketch,
-                 const InferenceOptions& options,
-                 std::vector<std::vector<std::uint32_t>>& buckets) {
-  if (options.max_heavy_per_stage == 0) return;
-  for (std::size_t h = 0; h < buckets.size(); ++h) {
-    auto& stage = buckets[h];
-    if (stage.size() <= options.max_heavy_per_stage) continue;
-    std::partial_sort(
-        stage.begin(),
-        stage.begin() +
-            static_cast<std::ptrdiff_t>(options.max_heavy_per_stage),
-        stage.end(), [&](std::uint32_t a, std::uint32_t b) {
-          const double va = sketch.bucket_value(h, a);
-          const double vb = sketch.bucket_value(h, b);
-          return va > vb || (va == vb && a < b);
-        });
-    stage.resize(options.max_heavy_per_stage);
-    std::sort(stage.begin(), stage.end());
-  }
+std::uint32_t StreamingInference::sub_index(std::uint32_t index, int w) const {
+  const int shift = bits_per_word_ * (num_words_ - 1 - w);
+  return (index >> shift) & ((1u << bits_per_word_) - 1u);
 }
 
-}  // namespace
+void StreamingInference::begin(const ReversibleSketch& sketch,
+                               double threshold,
+                               const InferenceOptions& options,
+                               std::vector<std::vector<std::uint32_t>>
+                                   stage_buckets) {
+  sketch_ = &sketch;
+  threshold_ = threshold;
+  options_ = options;
+  const auto& cfg = sketch.config();
+  num_stages_ = cfg.num_stages;
+  num_words_ = cfg.num_words();
+  bits_per_word_ = cfg.bits_per_word();
+  sub_range_ = std::size_t{1} << bits_per_word_;
+  // Quorum of at least one stage, and the miss-count planes hold at most
+  // 15 stages / misses up to 7 in the <=r formula.
+  effective_slack_ = std::min(options.stage_slack,
+                              std::min<std::size_t>(num_stages_ - 1, 7));
+  result_ = InferenceResult{};
+  depth_ = -1;
+  done_ = true;
+
+  roots_ = std::move(stage_buckets);
+  result_.heavy_buckets_dropped = apply_top_n(sketch, options_, roots_);
+  for (const auto& b : roots_) result_.heavy_bucket_total += b.size();
+
+  // One reusable workspace per depth: the DFS holds exactly one active node
+  // per level, so sibling nodes share grouping storage. clear() inside
+  // enter_level keeps vector capacity, making the steady state
+  // allocation-free on stable shapes.
+  levels_.resize(static_cast<std::size_t>(num_words_));
+  for (auto& level : levels_) {
+    level.groups.resize(num_stages_ * sub_range_);
+  }
+  child_.resize(num_stages_);
+  root_spans_.resize(num_stages_);
+
+  // A key must be heavy in >= H - r stages; if fewer stages have any heavy
+  // bucket at all, nothing can qualify.
+  std::size_t alive = 0;
+  for (const auto& b : roots_) alive += b.empty() ? 0 : 1;
+  if (alive + effective_slack_ < num_stages_) return;  // done_, empty result
+
+  for (std::size_t h = 0; h < num_stages_; ++h) root_spans_[h] = roots_[h];
+  enter_level(0, 0, root_spans_);
+  depth_ = 0;
+  done_ = false;
+}
+
+void StreamingInference::begin(const ReversibleSketch& sketch,
+                               double threshold,
+                               const InferenceOptions& options) {
+  begin(sketch, threshold, options, heavy_buckets(sketch, threshold));
+}
+
+void StreamingInference::enter_level(int w, std::uint64_t prefix,
+                                     std::span<const BucketSpan> consistent) {
+  Level& lvl = levels_[static_cast<std::size_t>(w)];
+
+  // Group each stage's consistent buckets by their sub-index at this word.
+  // groups[h * sub_range_ + v] = buckets with sub-index v in stage h.
+  auto& groups = lvl.groups;
+  for (auto& g : groups) g.clear();
+  std::size_t grouped = 0;
+  for (std::size_t h = 0; h < num_stages_; ++h) {
+    for (const std::uint32_t b : consistent[h]) {
+      groups[h * sub_range_ + sub_index(b, w)].push_back(b);
+    }
+    grouped += consistent[h].size();
+  }
+
+  // Viable bytes via 256-bit masks: a byte keeps stage h alive iff its
+  // word-hash value selects a non-empty group, i.e. iff it is in the union
+  // of those values' preimage masks. Count per-byte stage MISSES with a
+  // bit-sliced ripple adder (num_stages <= 15 => 4 planes) and keep bytes
+  // with miss count <= stage_slack. This replaces the 256 x H inner loop
+  // with ~40 word-wide ops per node.
+  std::array<std::uint64_t, 4> miss0{}, miss1{}, miss2{}, miss3{};
+  for (std::size_t h = 0; h < num_stages_; ++h) {
+    std::array<std::uint64_t, 4> alive_mask{};
+    const WordHash& wh = sketch_->word_hash(h, w);
+    for (std::size_t v = 0; v < sub_range_; ++v) {
+      if (groups[h * sub_range_ + v].empty()) continue;
+      const auto& m = wh.preimage_mask(static_cast<std::uint8_t>(v));
+      for (int i = 0; i < 4; ++i) alive_mask[i] |= m[i];
+    }
+    for (int i = 0; i < 4; ++i) {
+      std::uint64_t carry = ~alive_mask[i];  // this stage's misses
+      std::uint64_t t = miss0[i] & carry;
+      miss0[i] ^= carry;
+      carry = t;
+      t = miss1[i] & carry;
+      miss1[i] ^= carry;
+      carry = t;
+      t = miss2[i] & carry;
+      miss2[i] ^= carry;
+      carry = t;
+      miss3[i] |= carry;
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t le = 0;
+    for (std::size_t r = 0; r <= effective_slack_; ++r) {
+      le |= ((r & 1) ? miss0[i] : ~miss0[i]) &
+            ((r & 2) ? miss1[i] : ~miss1[i]) &
+            ((r & 4) ? miss2[i] : ~miss2[i]) & ~miss3[i];
+    }
+    lvl.viable[i] = le;
+  }
+  lvl.prefix = prefix;
+
+  // Work meter: one unit for the node plus one per bucket regrouped (the
+  // node's dominant cost). Deterministic — a pure function of the search
+  // state, never of timing.
+  result_.work_used += 1 + grouped;
+}
+
+void StreamingInference::emit(std::uint64_t mangled) {
+  result_.work_used += 2;  // estimate + screen
+  // At a leaf every surviving stage pins the key to exactly the bucket it
+  // hashed into; count survivors once more (defensive — the descent already
+  // pruned below the quorum).
+  std::size_t alive = 0;
+  for (const auto& b : child_) alive += b.empty() ? 0 : 1;
+  if (alive + effective_slack_ < num_stages_) return;
+
+  const std::uint64_t key = sketch_->mangler().unmangle(mangled);
+  const double est = sketch_->estimate(key);
+  if (est < threshold_) return;  // median across ALL stages must agree
+  if (options_.verifier && !options_.verifier(key, est)) return;
+  if (result_.keys.size() >= options_.max_candidates) {
+    result_.truncated = true;
+    done_ = true;
+    return;
+  }
+  result_.keys.push_back(HeavyKey{key, est});
+}
+
+bool StreamingInference::run_chunk(std::size_t quantum) {
+  if (done_) return true;
+  const std::size_t chunk_start = result_.work_used;
+  while (result_.work_used - chunk_start < quantum) {
+    if (depth_ < 0) {  // every subtree explored
+      done_ = true;
+      break;
+    }
+    if (options_.max_work != 0 && result_.work_used >= options_.max_work) {
+      result_.work_exhausted = true;
+      done_ = true;
+      break;
+    }
+    Level& lvl = levels_[static_cast<std::size_t>(depth_)];
+    const int byte = pop_lowest_byte(lvl.viable);
+    if (byte < 0) {  // level exhausted: backtrack
+      --depth_;
+      continue;
+    }
+    const std::uint64_t prefix =
+        (lvl.prefix << 8) | static_cast<std::uint64_t>(byte);
+    for (std::size_t h = 0; h < num_stages_; ++h) {
+      const std::uint8_t v = sketch_->word_hash(h, depth_)
+                                 .map(static_cast<std::uint8_t>(byte));
+      child_[h] = lvl.groups[h * sub_range_ + v];
+    }
+    if (depth_ + 1 == num_words_) {
+      emit(prefix);
+      if (done_) break;  // candidate cap aborts the whole search
+    } else {
+      enter_level(depth_ + 1, prefix, child_);
+      ++depth_;
+    }
+  }
+  return done_;
+}
+
+InferenceResult StreamingInference::take_result() {
+  InferenceResult out = std::move(result_);
+  result_ = InferenceResult{};
+  options_ = InferenceOptions{};  // drop any captured verifier
+  sketch_ = nullptr;
+  depth_ = -1;
+  done_ = true;
+  return out;
+}
 
 InferenceResult infer_heavy_keys(const ReversibleSketch& sketch,
                                  double threshold,
@@ -240,9 +268,11 @@ InferenceResult infer_heavy_keys(
     const ReversibleSketch& sketch, double threshold,
     const InferenceOptions& options,
     std::vector<std::vector<std::uint32_t>> stage_buckets) {
-  apply_top_n(sketch, options, stage_buckets);
-  InferenceSearch search(sketch, threshold, options, std::move(stage_buckets));
-  return search.run();
+  StreamingInference search;
+  search.begin(sketch, threshold, options, std::move(stage_buckets));
+  while (!search.run_chunk(~std::size_t{0})) {
+  }
+  return search.take_result();
 }
 
 }  // namespace hifind

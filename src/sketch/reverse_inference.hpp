@@ -25,10 +25,21 @@
 // independent verification sketch (see VerificationSketch) — its full-key
 // hash family is uncorrelated with the modular word hashes, so near
 // collisions carry no mass there and are removed.
+//
+// The search itself is RESUMABLE: StreamingInference holds the DFS state
+// explicitly and advances it in bounded work chunks (run_chunk), so the
+// detection epoch can spread an attack-heavy bucket-reversal burst across
+// idle task-pool slots of the next interval instead of stalling at close,
+// and a hard work budget (InferenceOptions::max_work) can stop the search
+// at a DETERMINISTIC point: work is metered in search steps, not wall time,
+// so the same sketch + options yield the same (possibly truncated) key set
+// regardless of chunk size, thread count, or host speed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "sketch/reversible_sketch.hpp"
@@ -60,15 +71,124 @@ struct InferenceOptions {
   /// Cap on heavy buckets considered per stage, keeping the LARGEST ones —
   /// the paper's "detect the top N anomalies" stress-test mode (Sec. 5.5.3).
   /// Bounds the search tree when an interval carries hundreds of anomalies.
-  /// 0 = unlimited.
+  /// Ties on bucket value break toward the lower index, so the kept set is a
+  /// deterministic function of the sketch. 0 = unlimited.
   std::size_t max_heavy_per_stage{0};
+  /// Hard budget on search work, in deterministic work units (one unit ~ one
+  /// heavy bucket regrouped at a DFS node, or one leaf screened — see
+  /// InferenceResult::work_used). The search stops once the meter reaches
+  /// the budget and reports work_exhausted; because the meter advances only
+  /// with search steps, the stop point — and therefore the emitted key set —
+  /// is identical for any chunk size or thread count. 0 = unlimited.
+  std::size_t max_work{0};
 };
 
 /// Result of an inference run.
 struct InferenceResult {
   std::vector<HeavyKey> keys;
   bool truncated{false};              ///< hit max_candidates
+  bool work_exhausted{false};         ///< hit max_work (latency-budget mode)
   std::size_t heavy_bucket_total{0};  ///< sum of per-stage heavy-bucket counts
+  /// Heavy buckets dropped by the max_heavy_per_stage top-N cap (0 when the
+  /// cap is off or no stage exceeded it).
+  std::size_t heavy_buckets_dropped{0};
+  /// Work units the search actually spent (grows monotonically with the
+  /// search; comparable across runs of the same shape).
+  std::size_t work_used{0};
+
+  /// Any degradation at all? (budget tripped, candidates capped, or heavy
+  /// buckets dropped). When false, the key set is exactly the unbudgeted
+  /// search's output.
+  bool degraded() const {
+    return truncated || work_exhausted || heavy_buckets_dropped > 0;
+  }
+};
+
+/// Resumable bucket-reversal search. Usage:
+///
+///   StreamingInference s;                       // reusable across runs
+///   s.begin(sketch, t, options, buckets);       // or the scanning overload
+///   while (!s.run_chunk(quantum)) { /* yield / interleave */ }
+///   InferenceResult r = s.take_result();
+///
+/// Chunking NEVER changes the output: state persists exactly across chunks
+/// and all truncation decisions key off the deterministic work meter.
+/// Workspace storage is retained across begin() calls, so a long-lived
+/// engine reaches an allocation-free steady state on stable shapes.
+class StreamingInference {
+ public:
+  StreamingInference() = default;
+  StreamingInference(const StreamingInference&) = delete;
+  StreamingInference& operator=(const StreamingInference&) = delete;
+
+  /// Prepares a search over (sketch, threshold), starting from precomputed
+  /// per-stage heavy-bucket lists (ascending bucket ids; the heavy_buckets()
+  /// format — the detection epoch gets these for free from the fused
+  /// forecaster pass). Discards any previous search. The sketch must outlive
+  /// the run; `options` is copied.
+  void begin(const ReversibleSketch& sketch, double threshold,
+             const InferenceOptions& options,
+             std::vector<std::vector<std::uint32_t>> stage_buckets);
+
+  /// As above, but scans the sketch counters for the heavy buckets itself.
+  void begin(const ReversibleSketch& sketch, double threshold,
+             const InferenceOptions& options);
+
+  /// Advances the search by roughly `quantum` work units (it finishes the
+  /// step in flight, so slight overshoot is possible). Returns true when the
+  /// search is complete (exhausted, candidate-capped, or out of budget).
+  bool run_chunk(std::size_t quantum);
+
+  bool done() const { return done_; }
+
+  /// Work units spent so far (valid mid-search).
+  std::size_t work_used() const { return result_.work_used; }
+
+  /// Moves the finished result out. Call once, after run_chunk returned
+  /// true; the engine is then ready for the next begin().
+  InferenceResult take_result();
+
+ private:
+  using BucketSpan = std::span<const std::uint32_t>;
+
+  /// Per-depth DFS state. The search holds exactly one active node per
+  /// depth, so one workspace per level serves all siblings; `groups` storage
+  /// is cleared (capacity kept) on re-entry, making the steady state
+  /// allocation-free.
+  struct Level {
+    /// groups[h * sub_range + v] = this node's consistent heavy buckets of
+    /// stage h whose sub-index at this word is v. Child nodes' consistent
+    /// sets are spans into this storage, valid while the subtree is active.
+    std::vector<std::vector<std::uint32_t>> groups;
+    /// Byte values at this word still to be explored (256-bit mask).
+    std::array<std::uint64_t, 4> viable{};
+    /// Mangled-key prefix chosen above this level.
+    std::uint64_t prefix{0};
+  };
+
+  /// Groups `consistent` at word `w`, computes the viable-byte mask, and
+  /// activates levels_[w]. Returns false if no byte is viable.
+  void enter_level(int w, std::uint64_t prefix,
+                   std::span<const BucketSpan> consistent);
+  void emit(std::uint64_t mangled);
+  std::uint32_t sub_index(std::uint32_t index, int w) const;
+
+  const ReversibleSketch* sketch_{nullptr};
+  double threshold_{0.0};
+  InferenceOptions options_;
+  std::size_t num_stages_{0};
+  int num_words_{0};
+  int bits_per_word_{0};
+  std::size_t sub_range_{0};
+  std::size_t effective_slack_{0};
+
+  std::vector<std::vector<std::uint32_t>> roots_;
+  std::vector<BucketSpan> root_spans_;
+  std::vector<BucketSpan> child_;  ///< scratch spans for the step in flight
+  std::vector<Level> levels_;
+  int depth_{-1};
+  bool done_{true};
+  InferenceResult result_;
 };
 
 /// Returns all keys whose sketch estimate exceeds `threshold`.

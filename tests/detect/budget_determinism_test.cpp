@@ -1,0 +1,195 @@
+// The latency budget must degrade DETERMINISTICALLY: the truncated alert
+// set is a pure function of (bank, config) — identical at every epoch
+// thread count — and a budget generous enough never to trip must leave the
+// alerts bit-identical to an unbudgeted run (the fused-epoch output this
+// repo has shipped since the task-pool PR).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "../testing/synthetic.hpp"
+#include "detect/hifind.hpp"
+
+namespace hifind {
+namespace {
+
+using testing::feed_completed;
+using testing::feed_flood;
+using testing::feed_hscan;
+using testing::feed_vscan;
+
+SketchBankConfig bank_cfg() {
+  SketchBankConfig c;
+  c.seed = 42;
+  c.twod.x_buckets = 1u << 10;
+  return c;
+}
+
+HifindDetectorConfig det_cfg(std::size_t epoch_threads,
+                             const EpochBudget& budget) {
+  HifindDetectorConfig c;
+  c.interval_seconds = 60;
+  c.syn_rate_threshold = 1.0;
+  c.min_persist_intervals = 2;
+  c.epoch_threads = epoch_threads;
+  c.budget = budget;
+  return c;
+}
+
+/// Attack-heavy scenario: many concurrent anomalies per interval so the
+/// reversal search has real work for a budget to cut into.
+std::vector<IntervalResult> replay(std::size_t epoch_threads,
+                                   const EpochBudget& budget) {
+  SketchBank bank(bank_cfg());
+  HifindDetector detector(det_cfg(epoch_threads, budget));
+  Pcg32 rng(7, 11);
+  std::vector<IntervalResult> results;
+  for (std::uint64_t interval = 0; interval < 6; ++interval) {
+    for (int v = 0; v < 6; ++v) {
+      const IPv4 victim(129, 105, 1, static_cast<std::uint8_t>(1 + v));
+      feed_completed(bank, IPv4(100, 1, 1, static_cast<std::uint8_t>(1 + v)),
+                     victim, 80, 30);
+      if (interval >= 2) {
+        feed_flood(bank, victim, 80, 300, /*spoofed=*/true, rng);
+      }
+    }
+    if (interval >= 2) {
+      feed_hscan(bank, IPv4(7, 7, 7, 7), 445, 250);
+      feed_vscan(bank, IPv4(8, 8, 8, 8), IPv4(129, 105, 9, 9), 250);
+    }
+    results.push_back(detector.process(bank, interval));
+    bank.clear();
+  }
+  return results;
+}
+
+void expect_identical(const std::vector<IntervalResult>& a,
+                      const std::vector<IntervalResult>& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].raw, b[i].raw) << what << " raw, interval " << i;
+    EXPECT_EQ(a[i].after_2d, b[i].after_2d)
+        << what << " after_2d, interval " << i;
+    EXPECT_EQ(a[i].final, b[i].final) << what << " final, interval " << i;
+    EXPECT_EQ(a[i].epoch, b[i].epoch) << what << " epoch, interval " << i;
+  }
+}
+
+/// A budget tight enough to actually truncate this scenario. The work cap
+/// derives from deadline * work_units_per_ms, so pin both: the test must
+/// not depend on the default calibration constant.
+EpochBudget tight_budget() {
+  EpochBudget b;
+  b.deadline_ms = 1.0;
+  b.work_units_per_ms = 600.0;  // 600 work units total, 200 per inference
+  b.max_heavy_per_stage = 4;
+  return b;
+}
+
+TEST(BudgetDeterminism, TightBudgetActuallyTruncates) {
+  // Guard against vacuous equality: the tight budget must report truncation
+  // on the attack-heavy intervals AND still produce some alerts.
+  const auto results = replay(/*epoch_threads=*/1, tight_budget());
+  bool any_truncated = false;
+  std::size_t alerts = 0;
+  for (const auto& r : results) {
+    if (r.epoch.truncated) {
+      any_truncated = true;
+      EXPECT_TRUE(r.epoch.budgeted);
+      EXPECT_GT(r.epoch.work_budget, 0u);
+    }
+    alerts += r.raw.size();
+  }
+  EXPECT_TRUE(any_truncated);
+  EXPECT_GT(alerts, 0u);
+}
+
+TEST(BudgetDeterminism, TruncatedAlertsIdenticalAcrossThreadCounts) {
+  const EpochBudget budget = tight_budget();
+  const auto serial = replay(/*epoch_threads=*/1, budget);
+  expect_identical(serial, replay(2, budget), "2 threads");
+  expect_identical(serial, replay(4, budget), "4 threads");
+  expect_identical(serial, replay(8, budget), "8 threads");
+}
+
+TEST(BudgetDeterminism, ZeroPressureBudgetBitIdenticalToUnbudgeted) {
+  // A budget the scenario never hits must be invisible in the alerts: same
+  // output as the unbudgeted fused epoch, at every thread count.
+  EpochBudget loose;
+  loose.deadline_ms = 1e6;          // ~2.5e10 work units with the default rate
+  loose.max_heavy_per_stage = 0;    // stage cap off: pure work-meter mode
+  const auto unbudgeted = replay(/*epoch_threads=*/1, EpochBudget{});
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const auto budgeted = replay(threads, loose);
+    ASSERT_EQ(unbudgeted.size(), budgeted.size());
+    for (std::size_t i = 0; i < unbudgeted.size(); ++i) {
+      EXPECT_EQ(unbudgeted[i].raw, budgeted[i].raw) << "interval " << i;
+      EXPECT_EQ(unbudgeted[i].after_2d, budgeted[i].after_2d)
+          << "interval " << i;
+      EXPECT_EQ(unbudgeted[i].final, budgeted[i].final) << "interval " << i;
+      // The report differs only in the budget bookkeeping, never in the
+      // degradation flags.
+      EXPECT_FALSE(budgeted[i].epoch.truncated) << "interval " << i;
+      EXPECT_EQ(unbudgeted[i].epoch.truncated, budgeted[i].epoch.truncated);
+      EXPECT_EQ(unbudgeted[i].epoch.heavy_buckets_dropped,
+                budgeted[i].epoch.heavy_buckets_dropped);
+    }
+  }
+}
+
+TEST(BudgetDeterminism, UnbudgetedEpochReportsComplete) {
+  const auto results = replay(/*epoch_threads=*/1, EpochBudget{});
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.epoch.budgeted);
+    EXPECT_FALSE(r.epoch.truncated);
+    EXPECT_EQ(r.epoch.work_budget, 0u);
+  }
+}
+
+TEST(BudgetDeterminism, StageCapBiasKeepsLargestAnomalies) {
+  // With only the stage cap active (no work meter), truncation must keep a
+  // DOMINANT flood: the top-N heavy-bucket selection is value-ordered, so
+  // the 10x-larger victim's buckets survive in every stage even when the
+  // small floods get cut.
+  EpochBudget cap_only;
+  cap_only.deadline_ms = 1e6;  // effectively infinite work
+  cap_only.max_heavy_per_stage = 2;
+  SketchBank bank(bank_cfg());
+  HifindDetector detector(det_cfg(/*epoch_threads=*/1, cap_only));
+  Pcg32 rng(17, 23);
+  const IPv4 big(129, 105, 1, 1);
+  bool saw_big_alert = false;
+  bool saw_truncation = false;
+  for (std::uint64_t interval = 0; interval < 3; ++interval) {
+    feed_completed(bank, IPv4(100, 1, 1, 1), big, 80, 30);
+    for (int v = 0; v < 5; ++v) {
+      feed_completed(bank, IPv4(100, 1, 2, static_cast<std::uint8_t>(1 + v)),
+                     IPv4(129, 105, 2, static_cast<std::uint8_t>(1 + v)), 80,
+                     30);
+    }
+    if (interval >= 1) {
+      feed_flood(bank, big, 80, 2000, /*spoofed=*/true, rng);
+      for (int v = 0; v < 5; ++v) {
+        feed_flood(bank, IPv4(129, 105, 2, static_cast<std::uint8_t>(1 + v)),
+                   80, 200, /*spoofed=*/true, rng);
+      }
+    }
+    const IntervalResult r = detector.process(bank, interval);
+    bank.clear();
+    if (interval < 1) continue;
+    saw_truncation |= r.epoch.heavy_buckets_dropped > 0;
+    const std::uint64_t big_key = pack_ip_port(big, 80);
+    for (const Alert& a : r.raw) {
+      if (a.type == AttackType::kSynFlooding && a.key == big_key) {
+        saw_big_alert = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_truncation) << "cap=2 must actually drop buckets";
+  EXPECT_TRUE(saw_big_alert);
+}
+
+}  // namespace
+}  // namespace hifind

@@ -342,5 +342,115 @@ TEST(ReverseInferenceTest, TopNTruncationDeterministicUnderTies) {
   }
 }
 
+/// Builds a noisy sketch with `num_heavy` planted keys — enough search work
+/// for chunking and work budgets to have something to bite into.
+ReversibleSketch dense_sketch(int num_heavy, std::uint64_t seed) {
+  ReversibleSketch s(rs48(seed));
+  Pcg32 rng(seed);
+  for (int i = 0; i < 8000; ++i) {
+    s.update(rng.next64() & ((1ULL << 48) - 1), 1.0);
+  }
+  for (int i = 0; i < num_heavy; ++i) {
+    s.update(rng.next64() & ((1ULL << 48) - 1), 500.0);
+  }
+  return s;
+}
+
+InferenceResult run_streaming(const ReversibleSketch& s, double t,
+                              const InferenceOptions& opts,
+                              std::size_t quantum) {
+  StreamingInference search;
+  search.begin(s, t, opts);
+  while (!search.run_chunk(quantum)) {
+  }
+  return search.take_result();
+}
+
+void expect_same_result(const InferenceResult& a, const InferenceResult& b,
+                        const char* what) {
+  ASSERT_EQ(a.keys.size(), b.keys.size()) << what;
+  for (std::size_t i = 0; i < a.keys.size(); ++i) {
+    EXPECT_EQ(a.keys[i].key, b.keys[i].key) << what << " key " << i;
+    EXPECT_EQ(a.keys[i].estimate, b.keys[i].estimate) << what << " est " << i;
+  }
+  EXPECT_EQ(a.truncated, b.truncated) << what;
+  EXPECT_EQ(a.work_exhausted, b.work_exhausted) << what;
+  EXPECT_EQ(a.heavy_buckets_dropped, b.heavy_buckets_dropped) << what;
+  EXPECT_EQ(a.work_used, b.work_used) << what;
+}
+
+TEST(StreamingInferenceTest, ChunkSizeNeverChangesTheResult) {
+  // The resumable search must be a pure scheduling construct: any chunk
+  // quantum — including pathological quantum=1, one search step per chunk —
+  // yields the same keys, in the same order, with the same work accounting.
+  const ReversibleSketch s = dense_sketch(20, 91);
+  const double t = 250.0;
+  const InferenceResult whole = infer_heavy_keys(s, t);
+  ASSERT_FALSE(whole.keys.empty());
+  for (const std::size_t quantum : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{64}, std::size_t{4096}}) {
+    expect_same_result(whole, run_streaming(s, t, InferenceOptions{}, quantum),
+                       "quantum");
+  }
+}
+
+TEST(StreamingInferenceTest, WorkBudgetTruncationIndependentOfChunkSize) {
+  // The work meter — not the chunk boundary — decides where a budgeted
+  // search stops, so the truncated key set is identical at every quantum.
+  const ReversibleSketch s = dense_sketch(30, 92);
+  const double t = 250.0;
+  InferenceOptions opts;
+  opts.max_work = 200;  // far less than the full search needs
+  const InferenceResult ref = run_streaming(s, t, opts, ~std::size_t{0});
+  EXPECT_TRUE(ref.work_exhausted);
+  // The meter is checked before each step and a step charges its full cost
+  // (1 + buckets regrouped at a node, 2 at a leaf), so the final tally may
+  // overshoot the cap by at most ONE step — bounded by the per-stage heavy
+  // bucket count, never by a chunk.
+  EXPECT_GE(ref.work_used, opts.max_work);
+  EXPECT_LT(ref.work_used, 2 * opts.max_work);
+  for (const std::size_t quantum :
+       {std::size_t{1}, std::size_t{13}, std::size_t{512}}) {
+    expect_same_result(ref, run_streaming(s, t, opts, quantum), "quantum");
+  }
+}
+
+TEST(StreamingInferenceTest, BudgetedOutputIsPrefixOfUnbudgeted) {
+  // Truncation degrades by CUTTING THE SEARCH SHORT, never by reordering:
+  // a budgeted run's keys are a prefix of the unbudgeted run's keys.
+  const ReversibleSketch s = dense_sketch(30, 93);
+  const double t = 250.0;
+  const InferenceResult whole = infer_heavy_keys(s, t);
+  InferenceOptions opts;
+  opts.max_work = 300;
+  const InferenceResult cut = run_streaming(s, t, opts, 64);
+  ASSERT_TRUE(cut.work_exhausted);
+  ASSERT_LT(cut.keys.size(), whole.keys.size());
+  for (std::size_t i = 0; i < cut.keys.size(); ++i) {
+    EXPECT_EQ(cut.keys[i].key, whole.keys[i].key) << i;
+  }
+  EXPECT_TRUE(cut.degraded());
+  EXPECT_FALSE(whole.degraded());
+}
+
+TEST(StreamingInferenceTest, EngineIsReusableAcrossSearches) {
+  // The detector keeps three long-lived engines; a second begin() must
+  // fully reset state left by the first search (including a truncated one).
+  const ReversibleSketch s = dense_sketch(20, 94);
+  const double t = 250.0;
+  StreamingInference engine;
+  InferenceOptions tight;
+  tight.max_work = 100;
+  engine.begin(s, t, tight);
+  while (!engine.run_chunk(32)) {
+  }
+  (void)engine.take_result();  // truncated run, discarded
+
+  engine.begin(s, t, InferenceOptions{});
+  while (!engine.run_chunk(128)) {
+  }
+  expect_same_result(infer_heavy_keys(s, t), engine.take_result(), "reuse");
+}
+
 }  // namespace
 }  // namespace hifind

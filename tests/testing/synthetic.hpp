@@ -1,8 +1,14 @@
 // Shared helpers for detector-level tests: tiny hand-rolled packet streams
 // with known structure (completed handshakes, floods, scans).
+//
+// Feeders are generic over the SINK so the same scenario replays through a
+// bare SketchBank (record), the overlapped pipeline (offer), or any callable
+// taking a PacketRecord — which is what lets the determinism tests compare
+// pipelines on literally the same packet stream.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "detect/sketch_bank.hpp"
@@ -37,44 +43,60 @@ inline PacketRecord synack_packet(Timestamp ts, IPv4 server,
   return p;
 }
 
-/// Feeds `count` completed handshakes client->server into the bank.
-inline void feed_completed(SketchBank& bank, IPv4 client, IPv4 server,
+/// Routes one packet into whatever the sink is.
+template <class Sink>
+inline void emit(Sink& sink, const PacketRecord& p) {
+  if constexpr (requires { sink.record(p); }) {
+    sink.record(p);
+  } else if constexpr (requires { sink.offer(p); }) {
+    sink.offer(p);
+  } else {
+    sink(p);
+  }
+}
+
+/// Feeds `count` completed handshakes client->server into the sink.
+template <class Sink>
+inline void feed_completed(Sink& sink, IPv4 client, IPv4 server,
                            std::uint16_t dport, int count,
                            Timestamp base_ts = 0) {
   for (int i = 0; i < count; ++i) {
     const auto sport = static_cast<std::uint16_t>(30000 + i % 20000);
-    bank.record(syn_packet(base_ts + i, client, server, dport, sport));
-    bank.record(synack_packet(base_ts + i, server, dport, client, sport));
+    emit(sink, syn_packet(base_ts + i, client, server, dport, sport));
+    emit(sink, synack_packet(base_ts + i, server, dport, client, sport));
   }
 }
 
 /// Feeds `count` un-answered SYNs (one per spoofed source if spoofed).
-inline void feed_flood(SketchBank& bank, IPv4 victim, std::uint16_t dport,
+template <class Sink>
+inline void feed_flood(Sink& sink, IPv4 victim, std::uint16_t dport,
                        int count, bool spoofed, Pcg32& rng,
                        IPv4 attacker = IPv4(6, 6, 6, 6),
                        Timestamp base_ts = 0) {
   for (int i = 0; i < count; ++i) {
     const IPv4 sip = spoofed ? IPv4{rng.next()} : attacker;
-    bank.record(syn_packet(base_ts + i, sip, victim, dport,
-                           static_cast<std::uint16_t>(1024 + (i % 60000))));
+    emit(sink, syn_packet(base_ts + i, sip, victim, dport,
+                          static_cast<std::uint16_t>(1024 + (i % 60000))));
   }
 }
 
 /// Feeds a horizontal scan: one SYN to `count` distinct destinations.
-inline void feed_hscan(SketchBank& bank, IPv4 attacker, std::uint16_t dport,
+template <class Sink>
+inline void feed_hscan(Sink& sink, IPv4 attacker, std::uint16_t dport,
                        int count, Timestamp base_ts = 0) {
   for (int i = 0; i < count; ++i) {
     const IPv4 target{0x81690000u + static_cast<std::uint32_t>(i)};
-    bank.record(syn_packet(base_ts + i, attacker, target, dport));
+    emit(sink, syn_packet(base_ts + i, attacker, target, dport));
   }
 }
 
 /// Feeds a vertical scan: one SYN to `count` distinct ports on one target.
-inline void feed_vscan(SketchBank& bank, IPv4 attacker, IPv4 target,
-                       int count, Timestamp base_ts = 0) {
+template <class Sink>
+inline void feed_vscan(Sink& sink, IPv4 attacker, IPv4 target, int count,
+                       Timestamp base_ts = 0) {
   for (int i = 0; i < count; ++i) {
-    bank.record(syn_packet(base_ts + i, attacker, target,
-                           static_cast<std::uint16_t>(1 + i)));
+    emit(sink, syn_packet(base_ts + i, attacker, target,
+                          static_cast<std::uint16_t>(1 + i)));
   }
 }
 
