@@ -7,6 +7,18 @@
 //               here verbatim as the regression baseline;
 //   - Pipeline: the lock-free SPSC-ring recorder (shared RecordOp
 //               extraction, prefetched batch updates);
+//   - Sharded:  the shared-nothing recorder (per-worker private SketchBank
+//               replicas, each op copied into exactly ONE ring, plain
+//               non-atomic stores), same record+drain shape as Pipeline so
+//               the two are directly comparable ingest-path numbers — in
+//               production the seal merge runs on the epoch thread,
+//               overlapped with the next interval exactly like detection
+//               itself (close_stall_us is the tripwire if it ever bleeds
+//               back into ingest);
+//   - ShardMerge: the seal-time SketchBank::merge_shards reduction alone,
+//               isolating what the epoch thread absorbs per seal (a
+//               function of bank size, not traffic volume — it amortizes
+//               over the interval);
 //   - UpdateScalar/UpdateBatch: single-sketch scalar update() vs
 //     update_batch() on the bank's largest reversible sketch (64-bit keys,
 //     2^16 buckets) and on a verification-shaped k-ary sketch.
@@ -19,6 +31,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -195,6 +208,52 @@ void BM_PipelineRecorder(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_PipelineRecorder)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ShardedRecorder(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const auto stream = recordable_stream(kStreamLen);
+  std::vector<std::unique_ptr<SketchBank>> banks;
+  std::vector<SketchBank*> shards;
+  for (unsigned i = 0; i < n; ++i) {
+    banks.push_back(std::make_unique<SketchBank>(SketchBankConfig{}));
+    shards.push_back(banks.back().get());
+  }
+  ShardedRecorder rec(shards);
+  for (auto _ : state) {
+    for (const auto& p : stream) rec.offer(p);
+    rec.drain();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+  state.counters["worst_case_Gbps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(stream.size()) * 320e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedRecorder)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ShardMerge(benchmark::State& state) {
+  // Merge cost alone, on shards pre-loaded with a full worst-case interval
+  // dealt round-robin (so per-shard occupancy mirrors the recorder's).
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const auto stream = recordable_stream(kStreamLen);
+  std::vector<std::unique_ptr<SketchBank>> banks;
+  std::vector<SketchBank*> shards;
+  for (unsigned i = 0; i < n; ++i) {
+    banks.push_back(std::make_unique<SketchBank>(SketchBankConfig{}));
+    shards.push_back(banks.back().get());
+  }
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    shards[i % n]->record(stream[i]);
+  }
+  SketchBank merged{SketchBankConfig{}};
+  for (auto _ : state) {
+    merged.merge_shards(
+        std::span<const SketchBank* const>(shards.data(), shards.size()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardMerge)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 std::vector<KeyDelta> random_ops(std::size_t n, int bits) {
   Pcg32 rng(7);

@@ -5,11 +5,19 @@ Usage:
     python3 bench/run_record_pipeline.py [--build-dir build] [--out BENCH_throughput.json]
 
 The output file records items/s (recordable packets per second) for the
-serial path, the legacy mutex/condvar recorder, and the lock-free pipeline
-at 1/2/4/8 requested threads, plus scalar-vs-batch single-sketch update
-rates, and the derived speedups the acceptance gates care about:
+serial path, the legacy mutex/condvar recorder, the lock-free shared-bank
+pipeline, and the shared-nothing sharded recorder (ingest path: record +
+drain, directly comparable to the pipeline numbers; the seal merge runs on
+the epoch thread in production) at 1/2/4/8 requested threads, plus the
+seal-time shard-merge rate (merges/s, a function of bank size not traffic),
+scalar-vs-batch single-sketch update rates, the derived speedups the
+acceptance gates care about:
     pipeline_vs_legacy_4t  >= 1.5 expected
+    sharded_vs_shared_8t   >= 1.5 expected (on a multi-core host)
     batch_vs_scalar_rs64   >= 1.2 expected
+and scaling_efficiency: sharded[N] / (N * sharded[1]) per thread count —
+1.0 is perfect shared-nothing scaling; the shared-bank pipeline cannot
+approach it because every op is copied into every worker's ring.
 All numbers come from the same binary in the same run, on the same machine.
 """
 
@@ -86,6 +94,8 @@ def main() -> int:
             "serial": items.get("BM_SerialRecord"),
             "legacy": threaded("BM_LegacyRecorder"),
             "pipeline": threaded("BM_PipelineRecorder"),
+            "sharded": threaded("BM_ShardedRecorder"),
+            "shard_merge": threaded("BM_ShardMerge"),
             "update_scalar_rs64": items.get("BM_UpdateScalarRS64"),
             "update_batch_rs64": items.get("BM_UpdateBatchRS64"),
             "update_scalar_kary": items.get("BM_UpdateScalarKary"),
@@ -102,12 +112,25 @@ def main() -> int:
             ips["pipeline"].get("4"), ips["legacy"].get("4")
         ),
         "pipeline_vs_serial_4t": ratio(ips["pipeline"].get("4"), ips["serial"]),
+        "sharded_vs_shared_8t": ratio(
+            ips["sharded"].get("8"), ips["pipeline"].get("8")
+        ),
+        "sharded_vs_serial_8t": ratio(ips["sharded"].get("8"), ips["serial"]),
         "batch_vs_scalar_rs64": ratio(
             ips["update_batch_rs64"], ips["update_scalar_rs64"]
         ),
         "batch_vs_scalar_kary": ratio(
             ips["update_batch_kary"], ips["update_scalar_kary"]
         ),
+    }
+    # Shared-nothing scaling: sharded[N] / (N * sharded[1]). With private
+    # replicas there is no shared hot-path state, so any gap from 1.0 is
+    # producer-side deal-out, memory bandwidth, or core oversubscription —
+    # not coherence traffic.
+    base = ips["sharded"].get("1")
+    result["scaling_efficiency"] = {
+        n: ratio(rate, int(n) * base) if base else None
+        for n, rate in sorted(ips["sharded"].items(), key=lambda kv: int(kv[0]))
     }
 
     tmp_out = args.out + ".tmp"

@@ -43,16 +43,29 @@ std::string CoverageReport::describe() const {
 }
 
 std::string EpochReport::describe() const {
-  if (!budgeted) return "epoch unbudgeted (complete)";
-  std::string out = "epoch budget " + std::to_string(inference_work) + "/" +
-                    std::to_string(work_budget) + " work units";
-  if (!truncated) return out + " (complete)";
-  out += " TRUNCATED";
-  if (heavy_buckets_dropped > 0) {
-    out += ", dropped " + std::to_string(heavy_buckets_dropped) +
-           " heavy buckets";
+  std::string out;
+  if (!budgeted) {
+    out = "epoch unbudgeted (complete)";
+  } else {
+    out = "epoch budget " + std::to_string(inference_work) + "/" +
+          std::to_string(work_budget) + " work units";
+    if (!truncated) {
+      out += " (complete)";
+    } else {
+      out += " TRUNCATED";
+      if (heavy_buckets_dropped > 0) {
+        out += ", dropped " + std::to_string(heavy_buckets_dropped) +
+               " heavy buckets";
+      }
+      if (candidates_truncated) out += ", candidate set cut short";
+    }
   }
-  if (candidates_truncated) out += ", candidate set cut short";
+  if (shards > 0) {
+    out += "; sharded x" + std::to_string(shards) + ", merge " +
+           std::to_string(merge_us) + "us, occupancy [" +
+           std::to_string(shard_occupancy_min) + ", " +
+           std::to_string(shard_occupancy_max) + "]";
+  }
   return out;
 }
 

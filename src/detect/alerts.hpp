@@ -91,7 +91,28 @@ struct EpochReport {
   std::size_t heavy_buckets_dropped{0};  ///< dropped by the top-N stage cap
   bool candidates_truncated{false};      ///< max_candidates or work cap hit
 
-  bool operator==(const EpochReport&) const = default;
+  // Shared-nothing recording telemetry (sharded pipeline only; 0/defaults
+  // under shared-bank or serial recording). Reporting-only: recording
+  // topology and wall-clock, deliberately EXCLUDED from operator== — the
+  // determinism contract covers what was detected and what was truncated,
+  // not how the interval's counters were recorded or how long the merge
+  // took.
+  std::size_t shards{0};        ///< shard replicas merged at this seal
+  std::uint64_t merge_us{0};    ///< shard-merge wall time (epoch thread)
+  /// Least/most-loaded shard's share of the interval's ops, normalized so
+  /// 1.0 = perfectly balanced (share * shard count).
+  double shard_occupancy_min{1.0};
+  double shard_occupancy_max{1.0};
+
+  /// Equality covers the deterministic degradation contract only (budget +
+  /// truncation state); see the telemetry comment above.
+  bool operator==(const EpochReport& o) const {
+    return budgeted == o.budgeted && truncated == o.truncated &&
+           inference_work == o.inference_work &&
+           work_budget == o.work_budget &&
+           heavy_buckets_dropped == o.heavy_buckets_dropped &&
+           candidates_truncated == o.candidates_truncated;
+  }
 
   std::string describe() const;
 };

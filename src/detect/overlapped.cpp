@@ -1,18 +1,58 @@
 #include "detect/overlapped.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <span>
 #include <utility>
 
+#include "common/task_pool.hpp"
+
 namespace hifind {
+namespace {
+
+/// Same resolution the detector uses for epoch_threads = 0: one worker per
+/// hardware thread, capped. The merge pool mirrors the detector pool's size
+/// so the shard merge gets the same parallel budget as the epoch it feeds.
+std::size_t resolve_epoch_threads(std::size_t configured) {
+  if (configured != 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(hw == 0 ? 1 : hw, 8);
+}
+
+}  // namespace
 
 OverlappedPipeline::OverlappedPipeline(const OverlappedPipelineConfig& config)
-    : config_(config),
-      bank_a_(config.bank),
-      bank_b_(config.bank),
-      active_(&bank_a_),
-      spare_(&bank_b_),
-      detector_(config.detector),
-      recorder_(bank_a_, config.record_threads, config.ring_capacity) {
+    : config_(config), detector_(config.detector) {
+  using RecordMode = OverlappedPipelineConfig::RecordMode;
+  if (config.record_mode == RecordMode::kShardedReplicas) {
+    const std::size_t n = std::clamp<std::size_t>(config.record_threads, 1,
+                                                  SketchBank::kMaxShards);
+    // Two generations of N replicas: while the epoch merges one set, the
+    // recorder fills the other. All 2N banks share one config, so any
+    // generation is combinable into merged_.
+    shard_banks_.reserve(2 * n);
+    shards_active_.reserve(n);
+    shards_spare_.reserve(n);
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      shard_banks_.push_back(std::make_unique<SketchBank>(config.bank));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      shards_active_.push_back(shard_banks_[i].get());
+      shards_spare_.push_back(shard_banks_[n + i].get());
+    }
+    merged_ = std::make_unique<SketchBank>(config.bank);
+    merge_pool_ = std::make_unique<TaskPool>(
+        resolve_epoch_threads(config.detector.epoch_threads));
+    sharded_recorder_ = std::make_unique<ShardedRecorder>(
+        std::span<SketchBank* const>(shards_active_), config.ring_capacity);
+  } else {
+    bank_a_ = std::make_unique<SketchBank>(config.bank);
+    bank_b_ = std::make_unique<SketchBank>(config.bank);
+    active_ = bank_a_.get();
+    spare_ = bank_b_.get();
+    shared_recorder_ = std::make_unique<ParallelRecorder>(
+        *bank_a_, config.record_threads, config.ring_capacity);
+  }
   epoch_thread_ = std::thread([this] { epoch_loop(); });
 }
 
@@ -27,7 +67,11 @@ OverlappedPipeline::~OverlappedPipeline() {
 }
 
 void OverlappedPipeline::offer(const PacketRecord& p, double weight) {
-  recorder_.offer(p, weight);
+  if (sharded_recorder_) {
+    sharded_recorder_->offer(p, weight);
+  } else {
+    shared_recorder_->offer(p, weight);
+  }
 }
 
 void OverlappedPipeline::rethrow_epoch_error_locked() {
@@ -57,8 +101,31 @@ void OverlappedPipeline::close_interval() {
     rethrow_epoch_error_locked();
   }
 
+  if (sharded_recorder_) {
+    // Sharded seal: drain + rebind ONLY. The spare generation comes back
+    // from the previous epoch already reset (the epoch thread resets its
+    // input shards right after merging them), and the cumulative SYN/ACK
+    // history lives in the epoch-owned merged bank — so the ingest path
+    // pays no clear and no history copy at the seal.
+    sharded_recorder_->drain();
+    std::vector<std::uint64_t> shard_ops = sharded_recorder_->take_shard_ops();
+    sharded_recorder_->rebind(std::span<SketchBank* const>(shards_spare_));
+    std::swap(shards_active_, shards_spare_);
+
+    // Kick the sealed generation's epoch (now pointed to by shards_spare_).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      epoch_shards_ = shards_spare_;
+      epoch_shard_ops_ = std::move(shard_ops);
+      epoch_interval_ = interval_++;
+      epoch_busy_ = true;
+    }
+    cv_.notify_all();
+    return;
+  }
+
   // 2. Seal generation `active_`: every offered packet applied.
-  recorder_.drain();
+  shared_recorder_->drain();
 
   // 3. Prepare the spare generation for the next interval. clear() drops
   //    its two-intervals-old per-interval counters; the history sync keeps
@@ -67,7 +134,7 @@ void OverlappedPipeline::close_interval() {
   spare_->sync_history_from(*active_);
 
   // 4. Resume ingest into the spare generation.
-  recorder_.rebind(*spare_);
+  shared_recorder_->rebind(*spare_);
   std::swap(active_, spare_);
 
   // 5. Kick the sealed generation's epoch (now pointed to by spare_).
@@ -92,20 +159,65 @@ std::vector<IntervalResult> OverlappedPipeline::take_results() {
 }
 
 void OverlappedPipeline::epoch_loop() {
+  using Clock = std::chrono::steady_clock;
   for (;;) {
     const SketchBank* bank = nullptr;
+    std::vector<SketchBank*> shards;
+    std::vector<std::uint64_t> shard_ops;
     std::uint64_t interval = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || epoch_busy_; });
       if (stop_ && !epoch_busy_) return;
       bank = epoch_bank_;
+      shards = epoch_shards_;
+      shard_ops = std::move(epoch_shard_ops_);
       interval = epoch_interval_;
     }
     IntervalResult result;
     std::exception_ptr error;
     try {
-      result = detector_.process(*bank, interval);
+      if (!shards.empty()) {
+        // Stage 1 — reduce the sealed shard replicas into the merged bank
+        // (per-interval sketches overwritten, shard SYN/ACK history deltas
+        // ADDED to the merged bank's cumulative history). Fanned out per
+        // sketch on the merge pool; runs here, off the ingest path, which
+        // is the whole point of making it the epoch's first stage.
+        const Clock::time_point t0 = Clock::now();
+        merged_->merge_shards(
+            std::span<const SketchBank* const>(shards.data(), shards.size()),
+            merge_pool_.get());
+        const std::uint64_t merge_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count());
+        // Stage 2 — the shards are per-interval accumulators: zero them
+        // (history included) before the next seal rebinds into them. Done
+        // before process() so a throwing epoch cannot hand a generation
+        // with stale counters back to the recorder.
+        for (SketchBank* s : shards) s->reset_all();
+        // Stage 3 — detection on the merged bank, exactly as a serial
+        // single-bank pipeline would see it.
+        result = detector_.process(*merged_, interval);
+        // Telemetry (reporting only; excluded from EpochReport equality).
+        result.epoch.shards = shards.size();
+        result.epoch.merge_us = merge_us;
+        std::uint64_t total_ops = 0;
+        for (std::uint64_t ops : shard_ops) total_ops += ops;
+        if (total_ops > 0 && !shard_ops.empty()) {
+          const auto [lo, hi] =
+              std::minmax_element(shard_ops.begin(), shard_ops.end());
+          const double scale =
+              static_cast<double>(shard_ops.size()) /
+              static_cast<double>(total_ops);
+          result.epoch.shard_occupancy_min =
+              static_cast<double>(*lo) * scale;
+          result.epoch.shard_occupancy_max =
+              static_cast<double>(*hi) * scale;
+        }
+      } else {
+        result = detector_.process(*bank, interval);
+      }
     } catch (...) {
       error = std::current_exception();
     }

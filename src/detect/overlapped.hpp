@@ -4,32 +4,53 @@
 // for the whole detection epoch at every interval close; on attack-heavy
 // intervals the reverse-inference burst makes that a multi-second stall —
 // exactly the window an adversary wants the monitor blind in. This pipeline
-// removes the epoch from the ingest path with two SketchBank GENERATIONS:
+// removes the epoch from the ingest path with two recording GENERATIONS:
 //
 //   close_interval():
 //     1. wait for the PREVIOUS epoch to finish (normally instant — an epoch
 //        has a whole interval, e.g. 60 s, to complete; time spent here is
 //        backpressure and is surfaced via close_stall_us()),
 //     2. drain the recorder (all of interval N applied to generation A),
-//     3. prepare generation B: clear per-interval counters, then copy A's
-//        cumulative SYN/ACK service history bit-exactly
-//        (SketchBank::sync_history_from) so B starts the next interval with
-//        the same lifetime state a single-bank deployment would carry,
+//     3. [shared-bank mode only] prepare generation B: clear per-interval
+//        counters, then copy A's cumulative SYN/ACK service history
+//        bit-exactly (SketchBank::sync_history_from),
 //     4. rebind the recorder to B — ingest resumes immediately,
-//     5. hand generation A to the dedicated epoch thread, which runs
-//        HifindDetector::process in the background while interval N+1
-//        records into B.
+//     5. hand generation A to the dedicated epoch thread, which runs the
+//        detection epoch in the background while interval N+1 records into B.
+//
+// Recording modes (OverlappedPipelineConfig::record_mode):
+//
+//   kShardedReplicas (default) — shared-nothing recording: each of the N
+//     record threads owns a FULL private SketchBank replica and applies its
+//     partition of the op stream with plain non-atomic stores
+//     (ShardedRecorder). A generation is a SET of N shard banks; the seal is
+//     drain + rebind only — no clear, no history sync on the ingest path.
+//     The background epoch first REDUCES the sealed shards by COMBINE
+//     linearity (SketchBank::merge_shards, fanned out per sketch on the
+//     merge pool) into a single epoch-thread-owned merged bank that carries
+//     the cumulative SYN/ACK history across intervals, then resets the
+//     shards (they hold per-interval state only) and runs
+//     HifindDetector::process on the merged bank. Merge time and per-shard
+//     occupancy are surfaced in each result's EpochReport.
+//
+//   kSharedBank — the PR 1 recorder: one bank per generation, the bank's
+//     sketch GROUPS dealt across workers (ParallelRecorder). Kept as the
+//     baseline the sharded bench variants are gated against, and for hosts
+//     where N full replicas do not fit in cache/memory.
 //
 // The epoch runs on its own thread (not a detector-pool worker) so the
 // detector's wait_idle() joins inside process() can never deadlock against
 // the coordinator; the detector's epoch_threads pool still parallelizes the
-// work inside the epoch, and the streaming-inference drivers chunk the
-// reversal sweep so a burst spreads across that pool's idle slots.
+// work inside the epoch (and the shard merge), and the streaming-inference
+// drivers chunk the reversal sweep so a burst spreads across that pool's
+// idle slots.
 //
-// Determinism: every stage of the epoch is bit-exact and the generations
-// are kept semantically identical to one serially reused bank (history
-// sync, exact seal via rebind-after-drain), so the alert stream is
-// bit-identical to the serial pipeline on the same packet stream — tested.
+// Determinism: every stage of the epoch is bit-exact and each generation is
+// kept semantically identical to one serially reused bank — shared mode via
+// history sync + exact seal, sharded mode because the shard sum plus the
+// merged bank's retained history IS the serial bank's state (merge_shards'
+// bit-identity contract) — so the alert stream is bit-identical to the
+// serial pipeline on the same packet stream, in BOTH modes. Tested.
 //
 // Usage:
 //   OverlappedPipeline pipe(cfg);
@@ -44,6 +65,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -54,12 +76,24 @@
 
 namespace hifind {
 
+class TaskPool;
+
 struct OverlappedPipelineConfig {
+  /// How recording parallelizes across record_threads (see file comment).
+  enum class RecordMode : std::uint8_t {
+    kSharedBank,       ///< one bank/generation, sketch groups dealt out
+    kShardedReplicas,  ///< one full private replica per thread, merged at seal
+  };
+
   SketchBankConfig bank{};
   HifindDetectorConfig detector{};
-  /// Recording worker threads (ParallelRecorder). The epoch thread and the
-  /// detector's epoch pool run CONCURRENTLY with these during an interval,
-  /// so budget the sum against the host, not each piece separately.
+  RecordMode record_mode{RecordMode::kShardedReplicas};
+  /// Recording worker threads. Sharded mode allocates one full bank replica
+  /// per thread per generation (2 * record_threads banks), clamped to
+  /// [1, SketchBank::kMaxShards]; shared mode clamps to the group count.
+  /// The epoch thread and the detector's epoch pool run CONCURRENTLY with
+  /// these during an interval, so budget the sum against the host, not each
+  /// piece separately.
   unsigned record_threads{2};
   std::size_t ring_capacity{ParallelRecorder::kDefaultRingCapacity};
 };
@@ -78,8 +112,9 @@ class OverlappedPipeline {
 
   /// Seals the current interval and kicks its detection epoch off in the
   /// background. Blocks only for the seal itself (previous-epoch
-  /// backpressure + recorder drain + history sync + rebind), NOT for the
-  /// epoch. Rethrows any exception the previous epoch raised.
+  /// backpressure + recorder drain [+ clear/history sync in shared mode] +
+  /// rebind), NOT for the epoch. Rethrows any exception the previous epoch
+  /// raised.
   void close_interval();
 
   /// Blocks until the in-flight epoch (if any) has finished; rethrows its
@@ -101,6 +136,8 @@ class OverlappedPipeline {
   const HifindDetectorConfig& detector_config() const {
     return detector_.config();
   }
+  /// Shard replicas per generation (0 in shared-bank mode).
+  std::size_t num_shards() const { return shards_active_.size(); }
 
  private:
   void epoch_loop();
@@ -108,22 +145,39 @@ class OverlappedPipeline {
   void rethrow_epoch_error_locked();
 
   OverlappedPipelineConfig config_;
-  SketchBank bank_a_;
-  SketchBank bank_b_;
-  SketchBank* active_;  ///< generation the recorder currently fills
-  SketchBank* spare_;   ///< generation the background epoch reads (or idle)
   HifindDetector detector_;  ///< epoch-thread only, after construction
-  ParallelRecorder recorder_;
+
+  // --- Shared-bank mode state (null/empty in sharded mode) ---------------
+  std::unique_ptr<SketchBank> bank_a_;
+  std::unique_ptr<SketchBank> bank_b_;
+  SketchBank* active_{nullptr};  ///< generation the recorder currently fills
+  SketchBank* spare_{nullptr};   ///< generation the background epoch reads
+  std::unique_ptr<ParallelRecorder> shared_recorder_;
+
+  // --- Sharded mode state (null/empty in shared-bank mode) ---------------
+  std::vector<std::unique_ptr<SketchBank>> shard_banks_;  ///< 2N replicas
+  std::vector<SketchBank*> shards_active_;  ///< generation being recorded
+  std::vector<SketchBank*> shards_spare_;   ///< generation the epoch reads
+  /// Epoch-thread-owned reduction target; its SYN/ACK history is the
+  /// pipeline's cumulative lifetime state (shards are per-interval only).
+  std::unique_ptr<SketchBank> merged_;
+  /// Fans the 10-sketch merge out; sized like the detector's epoch pool.
+  std::unique_ptr<TaskPool> merge_pool_;
+  std::unique_ptr<ShardedRecorder> sharded_recorder_;
+
   std::uint64_t interval_{0};
   std::uint64_t close_stall_us_{0};
 
-  /// Epoch-thread mailbox: close_interval() posts (bank, interval) under
-  /// mu_; the epoch thread processes it and posts the result back.
+  /// Epoch-thread mailbox: close_interval() posts the sealed input (bank or
+  /// shard set + per-shard op counts) under mu_; the epoch thread processes
+  /// it and posts the result back.
   std::mutex mu_;
   std::condition_variable cv_;
   bool epoch_busy_{false};
   bool stop_{false};
-  const SketchBank* epoch_bank_{nullptr};
+  const SketchBank* epoch_bank_{nullptr};  ///< shared mode epoch input
+  std::vector<SketchBank*> epoch_shards_;  ///< sharded mode epoch input
+  std::vector<std::uint64_t> epoch_shard_ops_;  ///< occupancy telemetry
   std::uint64_t epoch_interval_{0};
   std::vector<IntervalResult> results_;
   std::exception_ptr epoch_error_;

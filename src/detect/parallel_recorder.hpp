@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -92,12 +93,23 @@ class ParallelRecorder {
   std::size_t ring_capacity() const { return capacity_; }
 
  private:
-  /// One worker and its SPSC ring. `head`/`tail` are monotonically
-  /// increasing cursors (slot = cursor & (capacity−1)); the producer owns
-  /// `tail`, the worker owns `head`, and each is cache-line-aligned so the
-  /// two sides never false-share. The worker advances `head` only AFTER
-  /// applying the ops, so head == tail means "fully applied", which is what
-  /// drain() waits on.
+  /// One worker and its SPSC ring.
+  ///
+  /// False-sharing audit (the hot-path layout contract, shared with
+  /// ShardedRecorder::Shard):
+  ///   - `head`/`tail` are monotonically increasing cursors (slot = cursor
+  ///     & (capacity−1)); the worker owns `head`, the producer owns `tail`,
+  ///     and each sits alone on its own 64-byte line (alignas on each atomic
+  ///     pads the previous field out to a line) so cursor publication never
+  ///     invalidates the other side's line.
+  ///   - `stop` is also isolated: it is written once at shutdown, and
+  ///     sharing a line with `tail` would otherwise ping-pong the
+  ///     producer's line on every worker idle-poll.
+  ///   - The cold fields (slots pointer, mask, thread handle) stay packed at
+  ///     the front; they are read-only after construction, so sharing a line
+  ///     among THEM is free — only mutating fields need isolation.
+  /// The worker advances `head` only AFTER applying the ops, so head ==
+  /// tail means "fully applied", which is what drain() waits on.
   struct Worker {
     explicit Worker(std::size_t capacity) : slots(capacity) {}
 
@@ -124,7 +136,123 @@ class ParallelRecorder {
   std::size_t capacity_;  ///< ring capacity, power of two
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<RecordOp> pending_;  ///< producer-side op batch
-  std::atomic<std::uint64_t> drain_spin_yields_{0};
+  /// Shared stat the producer bumps while a worker polls its cursors: give
+  /// it its own line so accounting never dirties a ring line.
+  alignas(64) std::atomic<std::uint64_t> drain_spin_yields_{0};
+  static constexpr std::size_t kProducerBatch = 256;
+};
+
+/// Shared-nothing sharded recording (the paper's COMBINE-linearity argument
+/// applied to multi-core ingest): every worker owns a FULL private
+/// SketchBank replica and records a partition of the op stream into it with
+/// plain non-atomic stores through the prefetched batch-update path — no
+/// shared counter, no atomic RMW, anywhere on the hot path. The producer
+/// classifies/extracts each packet once into a RecordOp (exactly as
+/// ParallelRecorder) and deals op batches round-robin across the shards'
+/// SPSC rings, so each op is copied ONCE (the shared-bank recorder copies
+/// every op into every worker's ring).
+///
+/// At interval seal the shard replicas are reduced with the static COMBINE
+/// linearity APIs (SketchBank::merge_shards -> combine_into -> the SIMD
+/// accumulate kernels): the merged bank equals a serial record() of the
+/// whole stream — exactly, and BIT-identically whenever all op weights are
+/// unit or power-of-two (all partial sums exactly representable; arbitrary
+/// fractional sampling weights are exact up to FP associativity in the
+/// merge order). The recorder does not merge by itself: the caller owns the
+/// shard banks and the merge (see detect/overlapped.hpp, which runs the
+/// merge as the first stage of the background epoch so seal cost never
+/// stalls ingest).
+///
+/// Usage (serial close):
+///   std::vector<SketchBank*> shards = ...;      // N private replicas
+///   ShardedRecorder rec(shards);
+///   for (packet : interval) rec.offer(packet);
+///   rec.drain();                                // all ops applied
+///   merged.merge_shards(shards, pool);          // exact, off hot path
+///   for (SketchBank* s : shards) s->reset_all();// shards are per-interval
+class ShardedRecorder {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity =
+      ParallelRecorder::kDefaultRingCapacity;
+
+  /// @param shards         one private bank per worker (1..kMaxShards);
+  ///                       caller retains ownership. Banks must all be
+  ///                       combinable (same config) for the seal merge.
+  /// @param ring_capacity  per-shard SPSC ring capacity, rounded up to a
+  ///                       power of two (>= 2).
+  explicit ShardedRecorder(std::span<SketchBank* const> shards,
+                           std::size_t ring_capacity = kDefaultRingCapacity);
+
+  /// Stops workers (draining first). Shard banks remain valid.
+  ~ShardedRecorder();
+
+  ShardedRecorder(const ShardedRecorder&) = delete;
+  ShardedRecorder& operator=(const ShardedRecorder&) = delete;
+
+  /// Enqueues one packet; it will be recorded into exactly one shard.
+  void offer(const PacketRecord& p, double weight = 1.0);
+
+  /// Blocks until every offered packet has been applied to its shard (same
+  /// escalation as ParallelRecorder::drain()).
+  void drain();
+
+  /// Atomically retargets every worker at a new shard-bank generation
+  /// (same count as construction). Drains first, so the seal is exact:
+  /// packets offered before land in the old generation, packets after in
+  /// the new one. Caller-thread only. The old generation is safe to read —
+  /// and merge — the moment rebind() returns.
+  void rebind(std::span<SketchBank* const> shards);
+
+  /// Per-shard ops applied since the last call (producer thread, after
+  /// drain()): the per-shard occupancy signal the pipeline surfaces in
+  /// EpochReport. Deterministic given the offer/drain sequence — batch
+  /// deal-out is round-robin and drain() flushes the partial batch.
+  std::vector<std::uint64_t> take_shard_ops();
+
+  /// Times drain() exhausted its spin budget (see ParallelRecorder).
+  std::uint64_t drain_spin_yields() const {
+    return drain_spin_yields_.load(std::memory_order_relaxed);
+  }
+
+  unsigned num_shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  std::size_t ring_capacity() const { return capacity_; }
+
+ private:
+  /// One shard: a worker, its SPSC ring, and its private bank. Layout
+  /// follows the false-sharing audit on ParallelRecorder::Worker — mutable
+  /// cursors and stats each own a 64-byte line; read-mostly fields (slots,
+  /// bank pointer, thread handle) pack together. `ops_applied` is written
+  /// by the worker every batch while the producer polls `head`, so it gets
+  /// its own line too.
+  struct Shard {
+    explicit Shard(std::size_t capacity) : slots(capacity) {}
+
+    std::vector<RecordOp> slots;
+    /// Worker-side target bank. Relaxed atomics suffice for the same reason
+    /// as ParallelRecorder::bank_: rebind() stores on the producer thread
+    /// after drain(), and the worker loads only after acquiring a tail
+    /// advance released after the store.
+    std::atomic<SketchBank*> bank{nullptr};
+    std::thread thread;
+    alignas(64) std::atomic<std::size_t> head{0};  ///< consumer cursor
+    alignas(64) std::atomic<std::size_t> tail{0};  ///< producer cursor
+    alignas(64) std::atomic<bool> stop{false};
+    alignas(64) std::atomic<std::uint64_t> ops_applied{0};
+  };
+
+  void run_worker(Shard& s);
+  void publish(Shard& s, const RecordOp* ops, std::size_t n);
+  void flush_pending();
+
+  std::size_t capacity_;  ///< ring capacity, power of two
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<RecordOp> pending_;  ///< producer-side op batch
+  std::size_t next_shard_{0};      ///< round-robin batch deal-out cursor
+  std::vector<std::uint64_t> shard_ops_snapshot_;  ///< take_shard_ops base
+  alignas(64) std::atomic<std::uint64_t> drain_spin_yields_{0};
   static constexpr std::size_t kProducerBatch = 256;
 };
 

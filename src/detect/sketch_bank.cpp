@@ -4,6 +4,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "common/task_pool.hpp"
+
 namespace hifind {
 namespace {
 
@@ -214,6 +216,164 @@ SketchBank SketchBank::combine(
     out.accumulate(*bank, coeff);
   }
   return out;
+}
+
+namespace {
+
+/// Projects bank-level terms onto one member sketch, staging them in a
+/// fixed stack array (no allocation on the seal path).
+template <class Sketch, std::size_t N>
+std::span<const std::pair<double, const Sketch*>> project_terms(
+    std::span<const std::pair<double, const SketchBank*>> terms,
+    const Sketch& (SketchBank::*member)() const,
+    std::array<std::pair<double, const Sketch*>, N>& scratch) {
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    scratch[i] = {terms[i].first, &(terms[i].second->*member)()};
+  }
+  return {scratch.data(), terms.size()};
+}
+
+}  // namespace
+
+void SketchBank::combine_into(
+    std::span<const std::pair<double, const SketchBank*>> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("SketchBank::combine_into: no terms");
+  }
+  if (terms.size() > kMaxShards) {
+    throw std::invalid_argument("SketchBank::combine_into: too many terms");
+  }
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (!combinable_with(*terms[i].second)) {
+      throw std::invalid_argument(
+          "SketchBank::combine_into: banks have different shape or seed");
+    }
+    if (i > 0 && terms[i].second == this) {
+      throw std::invalid_argument(
+          "SketchBank::combine_into: destination may only alias term 0");
+    }
+  }
+  std::uint64_t packets = 0;
+  for (const auto& [coeff, bank] : terms) {
+    (void)coeff;
+    packets += bank->packets_recorded_;
+  }
+  std::array<std::pair<double, const ReversibleSketch*>, kMaxShards> rs;
+  std::array<std::pair<double, const KarySketch*>, kMaxShards> ks;
+  std::array<std::pair<double, const TwoDSketch*>, kMaxShards> ts;
+  rs_sip_dport_.combine_into(
+      project_terms(terms, &SketchBank::rs_sip_dport, rs));
+  rs_dip_dport_.combine_into(
+      project_terms(terms, &SketchBank::rs_dip_dport, rs));
+  rs_sip_dip_.combine_into(project_terms(terms, &SketchBank::rs_sip_dip, rs));
+  verif_sip_dport_.combine_into(
+      project_terms(terms, &SketchBank::verif_sip_dport, ks));
+  verif_dip_dport_.combine_into(
+      project_terms(terms, &SketchBank::verif_dip_dport, ks));
+  verif_sip_dip_.combine_into(
+      project_terms(terms, &SketchBank::verif_sip_dip, ks));
+  os_dip_dport_.combine_into(
+      project_terms(terms, &SketchBank::os_dip_dport, ks));
+  twod_sipdip_dport_.combine_into(
+      project_terms(terms, &SketchBank::twod_sipdip_dport, ts));
+  twod_sipdport_dip_.combine_into(
+      project_terms(terms, &SketchBank::twod_sipdport_dip, ts));
+  synack_history_.combine_into(
+      project_terms(terms, &SketchBank::synack_history, ks));
+  packets_recorded_ = packets;
+}
+
+void SketchBank::merge_shards(std::span<const SketchBank* const> shards,
+                              TaskPool* pool) {
+  if (shards.empty()) {
+    throw std::invalid_argument("SketchBank::merge_shards: no shards");
+  }
+  if (shards.size() > kMaxShards) {
+    throw std::invalid_argument("SketchBank::merge_shards: too many shards");
+  }
+  for (const SketchBank* shard : shards) {
+    if (shard == this || !combinable_with(*shard)) {
+      throw std::invalid_argument(
+          "SketchBank::merge_shards: shard aliases the destination or has a "
+          "different shape/seed");
+    }
+  }
+  // Unit-coefficient terms, staged once; every task reads them concurrently.
+  std::array<std::pair<double, const SketchBank*>, kMaxShards> terms;
+  for (std::size_t i = 0; i < shards.size(); ++i) terms[i] = {1.0, shards[i]};
+  const std::span<const std::pair<double, const SketchBank*>> span(
+      terms.data(), shards.size());
+
+  // One task per member sketch: the reductions touch disjoint destination
+  // arrays, so they fan out on the pool with no further coordination; a
+  // null/inline pool degenerates to the sequential merge. Term staging
+  // arrays live in each task's frame — fixed-size, allocation-free.
+  auto run = [&](auto&& task) {
+    if (pool != nullptr) {
+      pool->submit(std::forward<decltype(task)>(task));
+    } else {
+      task();
+    }
+  };
+  run([this, span] {
+    std::array<std::pair<double, const ReversibleSketch*>, kMaxShards> t;
+    rs_sip_dport_.combine_into(
+        project_terms(span, &SketchBank::rs_sip_dport, t));
+  });
+  run([this, span] {
+    std::array<std::pair<double, const ReversibleSketch*>, kMaxShards> t;
+    rs_dip_dport_.combine_into(
+        project_terms(span, &SketchBank::rs_dip_dport, t));
+  });
+  run([this, span] {
+    std::array<std::pair<double, const ReversibleSketch*>, kMaxShards> t;
+    rs_sip_dip_.combine_into(project_terms(span, &SketchBank::rs_sip_dip, t));
+  });
+  run([this, span] {
+    std::array<std::pair<double, const KarySketch*>, kMaxShards> t;
+    verif_sip_dport_.combine_into(
+        project_terms(span, &SketchBank::verif_sip_dport, t));
+  });
+  run([this, span] {
+    std::array<std::pair<double, const KarySketch*>, kMaxShards> t;
+    verif_dip_dport_.combine_into(
+        project_terms(span, &SketchBank::verif_dip_dport, t));
+  });
+  run([this, span] {
+    std::array<std::pair<double, const KarySketch*>, kMaxShards> t;
+    verif_sip_dip_.combine_into(
+        project_terms(span, &SketchBank::verif_sip_dip, t));
+  });
+  run([this, span] {
+    std::array<std::pair<double, const KarySketch*>, kMaxShards> t;
+    os_dip_dport_.combine_into(
+        project_terms(span, &SketchBank::os_dip_dport, t));
+  });
+  run([this, span] {
+    std::array<std::pair<double, const TwoDSketch*>, kMaxShards> t;
+    twod_sipdip_dport_.combine_into(
+        project_terms(span, &SketchBank::twod_sipdip_dport, t));
+  });
+  run([this, span] {
+    std::array<std::pair<double, const TwoDSketch*>, kMaxShards> t;
+    twod_sipdport_dip_.combine_into(
+        project_terms(span, &SketchBank::twod_sipdport_dip, t));
+  });
+  run([this, span] {
+    // The lifetime history is CUMULATIVE: shards carry only this interval's
+    // SYN/ACK deltas (they are reset after every merge), which accumulate
+    // onto the merged bank's history in shard order.
+    for (const auto& [coeff, bank] : span) {
+      synack_history_.accumulate(bank->synack_history_, coeff);
+    }
+  });
+  if (pool != nullptr) pool->wait_idle();
+
+  std::uint64_t packets = 0;
+  for (const SketchBank* shard : shards) {
+    packets += shard->packets_recorded_;
+  }
+  packets_recorded_ = packets;
 }
 
 std::size_t SketchBank::memory_bytes() const {

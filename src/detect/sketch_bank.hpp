@@ -22,6 +22,8 @@
 
 namespace hifind {
 
+class TaskPool;
+
 /// Shapes for every sketch in a bank. Defaults are the paper's Sec. 5.1
 /// parameters (H=6 stages RS/OS, H=5 2D, 2^12/2^16/2^14 buckets).
 struct SketchBankConfig {
@@ -120,6 +122,38 @@ class SketchBank {
   /// COMBINE over banks (aggregated detection, paper Sec. 3.1).
   static SketchBank combine(
       std::span<const std::pair<double, const SketchBank*>> terms);
+
+  /// Destination-reuse COMBINE: this = sum ci*Bi across every sketch
+  /// (including the lifetime SYN/ACK history) plus summed packet counts,
+  /// reusing this bank's counter arrays — no sketch construction, no
+  /// allocation. `this` may appear only as the FIRST term; every term must
+  /// be combinable_with(*this).
+  void combine_into(
+      std::span<const std::pair<double, const SketchBank*>> terms);
+
+  /// Hard cap on shard replicas one merge accepts; lets the seal-time
+  /// reduction stage terms in fixed stack arrays.
+  static constexpr std::size_t kMaxShards = 32;
+
+  /// Seal-time shard reduction for shared-nothing recording: overwrites
+  /// every PER-INTERVAL sketch of this bank with the sum over `shards`
+  /// (combine_into, destination-reuse), ADDS the shards' SYN/ACK-history
+  /// deltas into this bank's cumulative history, and replaces
+  /// packets_recorded with the shard total. Shards hold exactly one
+  /// interval's worth of state (they are reset after every merge), so after
+  /// this call the bank is state-equivalent to a single serially reused
+  /// bank that recorded the whole stream — by COMBINE linearity the merge
+  /// is exact, and for unit/power-of-two op weights (all deltas ±w with
+  /// w = 2^k) every partial sum is exactly representable, making the merged
+  /// counters BIT-IDENTICAL to serial recording at any shard count.
+  ///
+  /// The ten per-sketch reductions are independent and run as tasks on
+  /// `pool` (nullptr or an inline pool = sequential); per-sketch fan-out
+  /// beats a bank-level pairwise tree here because it mutates no shard and
+  /// needs no level barriers. Throws std::invalid_argument on shape
+  /// mismatch, empty input, or more than kMaxShards shards.
+  void merge_shards(std::span<const SketchBank* const> shards,
+                    TaskPool* pool = nullptr);
 
   const SketchBankConfig& config() const { return config_; }
 

@@ -136,10 +136,49 @@ KarySketch KarySketch::combine(
     throw std::invalid_argument("KarySketch::combine: no terms");
   }
   KarySketch out(terms.front().second->config());
-  for (const auto& [coeff, sketch] : terms) {
-    out.accumulate(*sketch, coeff);
-  }
+  out.combine_into(terms);
   return out;
+}
+
+void KarySketch::combine_into(
+    std::span<const std::pair<double, const KarySketch*>> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("KarySketch::combine_into: no terms");
+  }
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (!combinable_with(*terms[i].second)) {
+      throw std::invalid_argument(
+          "KarySketch::combine_into: sketches have different shape or seed");
+    }
+    if (i > 0 && terms[i].second == this) {
+      throw std::invalid_argument(
+          "KarySketch::combine_into: destination may only alias term 0");
+    }
+  }
+  // Derived state first, while this sketch's own values (it may be term 0)
+  // are still readable.
+  std::uint64_t updates = 0;
+  for (const auto& [coeff, sketch] : terms) {
+    (void)coeff;
+    updates += sketch->update_count_;
+  }
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    double s = 0.0;
+    for (const auto& [coeff, sketch] : terms) {
+      s += coeff * sketch->stage_sums_[h];
+    }
+    stage_sums_[h] = s;
+  }
+  // First term assigns (y = 0*y + c*x is exact and alias-safe for finite
+  // counters), the rest accumulate — one pass per term, reusing this
+  // sketch's counter array.
+  simd::axpby(counters_.data(), terms[0].second->counters_.data(),
+              counters_.size(), 0.0, terms[0].first);
+  for (const auto& [coeff, sketch] : terms.subspan(1)) {
+    simd::accumulate(counters_.data(), sketch->counters_.data(),
+                     counters_.size(), coeff);
+  }
+  update_count_ = updates;
 }
 
 }  // namespace hifind

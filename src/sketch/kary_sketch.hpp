@@ -74,6 +74,16 @@ class KarySketch {
   static KarySketch combine(
       std::span<const std::pair<double, const KarySketch*>> terms);
 
+  /// Destination-reuse COMBINE: this = sum ci*Si, overwriting this sketch's
+  /// counters in place — no sketch construction, no allocation. `this` may
+  /// itself appear as the FIRST term (the in-place reduction case); any
+  /// later term must be a distinct sketch. Every term must be
+  /// combinable_with(*this). The seal-time shard merge of the sharded
+  /// recording pipeline runs on this path so an interval close constructs
+  /// nothing.
+  void combine_into(
+      std::span<const std::pair<double, const KarySketch*>> terms);
+
   const KarySketchConfig& config() const { return config_; }
   std::size_t num_stages() const { return config_.num_stages; }
   std::size_t num_buckets() const { return config_.num_buckets; }

@@ -91,6 +91,13 @@ class ReversibleSketch {
   static ReversibleSketch combine(
       std::span<const std::pair<double, const ReversibleSketch*>> terms);
 
+  /// Destination-reuse COMBINE: this = sum ci*Si in place — no sketch
+  /// construction, no allocation. `this` may appear only as the FIRST term;
+  /// every term must be combinable_with(*this). Hot at interval seal, where
+  /// the sharded recorder reduces per-core shard replicas.
+  void combine_into(
+      std::span<const std::pair<double, const ReversibleSketch*>> terms);
+
   const ReversibleSketchConfig& config() const { return config_; }
   const KeyMangler& mangler() const { return mangler_; }
 

@@ -153,10 +153,39 @@ TwoDSketch TwoDSketch::combine(
     throw std::invalid_argument("TwoDSketch::combine: no terms");
   }
   TwoDSketch out(terms.front().second->config());
-  for (const auto& [coeff, sketch] : terms) {
-    out.accumulate(*sketch, coeff);
-  }
+  out.combine_into(terms);
   return out;
+}
+
+void TwoDSketch::combine_into(
+    std::span<const std::pair<double, const TwoDSketch*>> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("TwoDSketch::combine_into: no terms");
+  }
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (!combinable_with(*terms[i].second)) {
+      throw std::invalid_argument(
+          "TwoDSketch::combine_into: sketches have different shape or seed");
+    }
+    if (i > 0 && terms[i].second == this) {
+      throw std::invalid_argument(
+          "TwoDSketch::combine_into: destination may only alias term 0");
+    }
+  }
+  std::uint64_t updates = 0;
+  for (const auto& [coeff, sketch] : terms) {
+    (void)coeff;
+    updates += sketch->update_count_;
+  }
+  // First term assigns (y = 0*y + c*x is exact and alias-safe for finite
+  // cells), the rest accumulate — one pass per term over the reused array.
+  simd::axpby(cells_.data(), terms[0].second->cells_.data(), cells_.size(),
+              0.0, terms[0].first);
+  for (const auto& [coeff, sketch] : terms.subspan(1)) {
+    simd::accumulate(cells_.data(), sketch->cells_.data(), cells_.size(),
+                     coeff);
+  }
+  update_count_ = updates;
 }
 
 }  // namespace hifind

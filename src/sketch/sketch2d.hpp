@@ -88,6 +88,13 @@ class TwoDSketch {
   static TwoDSketch combine(
       std::span<const std::pair<double, const TwoDSketch*>> terms);
 
+  /// Destination-reuse COMBINE: this = sum ci*Si in place — no sketch
+  /// construction, no allocation. `this` may appear only as the FIRST term;
+  /// every term must be combinable_with(*this). Hot at interval seal, where
+  /// the sharded recorder reduces per-core shard replicas.
+  void combine_into(
+      std::span<const std::pair<double, const TwoDSketch*>> terms);
+
   const Sketch2dConfig& config() const { return config_; }
   std::span<const double> cells() const { return cells_; }
 

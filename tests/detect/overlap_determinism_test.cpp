@@ -30,13 +30,28 @@ SketchBankConfig bank_cfg() {
   return c;
 }
 
-HifindDetectorConfig det_cfg(std::size_t epoch_threads) {
+HifindDetectorConfig det_cfg(std::size_t epoch_threads,
+                             const EpochBudget& budget = {}) {
   HifindDetectorConfig c;
   c.interval_seconds = 60;
   c.syn_rate_threshold = 1.0;
   c.min_persist_intervals = 2;
   c.epoch_threads = epoch_threads;
+  c.budget = budget;
   return c;
+}
+
+using RecordMode = OverlappedPipelineConfig::RecordMode;
+
+/// A budget tight enough to truncate the mixed-attack scenario (same pinning
+/// rationale as budget_determinism_test): the sharded pipeline must degrade
+/// IDENTICALLY to the serial one when both run budgeted.
+EpochBudget tight_budget() {
+  EpochBudget b;
+  b.deadline_ms = 1.0;
+  b.work_units_per_ms = 600.0;
+  b.max_heavy_per_stage = 4;
+  return b;
 }
 
 /// Feeds the fixed 10-interval mixed-attack scenario into `sink`, calling
@@ -66,9 +81,10 @@ void run_scenario(Sink& sink, Close&& close) {
   }
 }
 
-std::vector<IntervalResult> replay_serial(std::size_t epoch_threads) {
+std::vector<IntervalResult> replay_serial(std::size_t epoch_threads,
+                                          const EpochBudget& budget = {}) {
   SketchBank bank(bank_cfg());
-  HifindDetector detector(det_cfg(epoch_threads));
+  HifindDetector detector(det_cfg(epoch_threads, budget));
   std::vector<IntervalResult> results;
   run_scenario(bank, [&](std::uint64_t interval) {
     results.push_back(detector.process(bank, interval));
@@ -77,14 +93,17 @@ std::vector<IntervalResult> replay_serial(std::size_t epoch_threads) {
   return results;
 }
 
-std::vector<IntervalResult> replay_overlapped(unsigned record_threads,
+std::vector<IntervalResult> replay_overlapped(RecordMode mode,
+                                              unsigned record_threads,
                                               std::size_t epoch_threads,
                                               std::size_t ring_capacity =
                                                   ParallelRecorder::
-                                                      kDefaultRingCapacity) {
+                                                      kDefaultRingCapacity,
+                                              const EpochBudget& budget = {}) {
   OverlappedPipelineConfig cfg;
   cfg.bank = bank_cfg();
-  cfg.detector = det_cfg(epoch_threads);
+  cfg.detector = det_cfg(epoch_threads, budget);
+  cfg.record_mode = mode;
   cfg.record_threads = record_threads;
   cfg.ring_capacity = ring_capacity;
   OverlappedPipeline pipe(cfg);
@@ -122,21 +141,87 @@ TEST(OverlapDeterminism, ScenarioProducesAlerts) {
 
 TEST(OverlapDeterminism, OverlappedBitIdenticalToSerial) {
   const auto serial = replay_serial(/*epoch_threads=*/1);
-  expect_identical(serial, replay_overlapped(1, 1), "1 rec thread, serial epoch");
-  expect_identical(serial, replay_overlapped(2, 1), "2 rec threads");
-  expect_identical(serial, replay_overlapped(4, 4), "4 rec + 4 epoch threads");
+  expect_identical(serial,
+                   replay_overlapped(RecordMode::kSharedBank, 1, 1),
+                   "1 rec thread, serial epoch");
+  expect_identical(serial, replay_overlapped(RecordMode::kSharedBank, 2, 1),
+                   "2 rec threads");
+  expect_identical(serial, replay_overlapped(RecordMode::kSharedBank, 4, 4),
+                   "4 rec + 4 epoch threads");
+}
+
+TEST(OverlapDeterminism, ShardedBitIdenticalToSerial) {
+  // The tentpole guarantee: shared-nothing replicas merged by linearity at
+  // seal are a pure scheduling change — same alerts as the serial loop at
+  // every shard count, including the cumulative SYN/ACK history that lives
+  // in the merged bank rather than being synced between generations.
+  const auto serial = replay_serial(/*epoch_threads=*/1);
+  expect_identical(serial,
+                   replay_overlapped(RecordMode::kShardedReplicas, 1, 1),
+                   "1 shard");
+  expect_identical(serial,
+                   replay_overlapped(RecordMode::kShardedReplicas, 2, 1),
+                   "2 shards");
+  expect_identical(serial,
+                   replay_overlapped(RecordMode::kShardedReplicas, 4, 4),
+                   "4 shards, 4 epoch threads");
+  expect_identical(serial,
+                   replay_overlapped(RecordMode::kShardedReplicas, 8, 2),
+                   "8 shards");
 }
 
 TEST(OverlapDeterminism, TinyRingsDoNotChangeAlerts) {
   // Tiny rings force constant wrap-around/backpressure in the recorder while
   // the epoch runs concurrently — the most adversarial interleaving.
   const auto serial = replay_serial(/*epoch_threads=*/1);
-  expect_identical(serial, replay_overlapped(3, 2, /*ring_capacity=*/8),
-                   "ring 8");
+  expect_identical(serial,
+                   replay_overlapped(RecordMode::kSharedBank, 3, 2,
+                                     /*ring_capacity=*/8),
+                   "shared, ring 8");
+  expect_identical(serial,
+                   replay_overlapped(RecordMode::kShardedReplicas, 3, 2,
+                                     /*ring_capacity=*/8),
+                   "sharded, ring 8");
+}
+
+TEST(OverlapDeterminism, ShardedBudgetedDegradesIdentically) {
+  // Budgeted + sharded: the latency budget's deterministic-truncation
+  // contract must hold over the merged bank exactly as over a serial one —
+  // same truncated alert set, same EpochReport degradation fields.
+  const EpochBudget budget = tight_budget();
+  const auto serial = replay_serial(/*epoch_threads=*/1, budget);
+  bool any_truncated = false;
+  for (const auto& r : serial) any_truncated |= r.epoch.truncated;
+  EXPECT_TRUE(any_truncated) << "budget never tripped — vacuous test";
+  expect_identical(
+      serial,
+      replay_overlapped(RecordMode::kShardedReplicas, 4, 2,
+                        ParallelRecorder::kDefaultRingCapacity, budget),
+      "sharded budgeted");
+}
+
+TEST(OverlapDeterminism, ShardedReportsMergeTelemetry) {
+  const auto sharded =
+      replay_overlapped(RecordMode::kShardedReplicas, 4, 1);
+  ASSERT_EQ(sharded.size(), 10u);
+  bool any_all_busy = false;
+  for (const auto& r : sharded) {
+    EXPECT_EQ(r.epoch.shards, 4u);
+    // Normalized occupancy brackets 1.0 (= perfectly balanced). Quiet
+    // intervals can fit in fewer producer batches than there are shards, so
+    // min may be 0 there; the attack-heavy intervals must load every shard.
+    EXPECT_GE(r.epoch.shard_occupancy_min, 0.0);
+    EXPECT_LE(r.epoch.shard_occupancy_min, 1.0 + 1e-9);
+    EXPECT_GE(r.epoch.shard_occupancy_max, 1.0 - 1e-9);
+    any_all_busy |= r.epoch.shard_occupancy_min > 0.0;
+  }
+  EXPECT_TRUE(any_all_busy) << "no interval ever loaded all shards";
+  const auto shared = replay_overlapped(RecordMode::kSharedBank, 4, 1);
+  for (const auto& r : shared) EXPECT_EQ(r.epoch.shards, 0u);
 }
 
 TEST(OverlapDeterminism, ResultsArriveInIntervalOrder) {
-  const auto results = replay_overlapped(2, 2);
+  const auto results = replay_overlapped(RecordMode::kShardedReplicas, 2, 2);
   ASSERT_EQ(results.size(), 10u);
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i].interval, i);

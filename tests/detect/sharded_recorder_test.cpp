@@ -1,0 +1,302 @@
+// Tentpole property: shared-nothing shard replicas reduced by COMBINE
+// linearity must be BIT-IDENTICAL (==, not ULP-tolerant) to serial record()
+// of the same stream — at every shard count, under attack-heavy randomized
+// traffic, with the merge run inline or fanned out on a TaskPool. Runs under
+// TSan in CI (the suite names are in the TSan filter) to check the per-shard
+// rings, rebind, and merge handoff for races.
+#include "detect/parallel_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "../testing/synthetic.hpp"
+#include "common/task_pool.hpp"
+#include "detect/sketch_bank.hpp"
+
+namespace hifind {
+namespace {
+
+using testing::feed_completed;
+using testing::feed_hscan;
+using testing::syn_packet;
+using testing::synack_packet;
+
+SketchBankConfig cfg() {
+  SketchBankConfig c;
+  c.seed = 42;
+  c.rs48.bucket_bits = 12;
+  c.verification.num_buckets = 1u << 12;
+  c.original.num_buckets = 1u << 12;
+  c.twod.x_buckets = 1u << 10;
+  return c;
+}
+
+/// Attack-heavy randomized traffic: the regime sharding exists for. Mostly
+/// one-sided SYNs (spoofed floods at a handful of victims, horizontal and
+/// vertical scan probes) with a background of completed flows, all orders
+/// interleaved by the RNG.
+std::vector<PacketRecord> attack_heavy_stream(int n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<PacketRecord> out;
+  out.reserve(static_cast<std::size_t>(n) * 2);
+  const IPv4 victims[3] = {IPv4(129, 105, 1, 1), IPv4(129, 105, 2, 2),
+                           IPv4(129, 105, 3, 3)};
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t roll = rng.bounded(10);
+    if (roll < 3) {
+      // Benign completed flow.
+      const IPv4 server{0x81690000u | (rng.next() & 0xffu)};
+      const IPv4 client{rng.next()};
+      const auto sport = static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+      out.push_back(syn_packet(i, client, server, 443, sport));
+      out.push_back(synack_packet(i, server, 443, client, sport));
+    } else if (roll < 7) {
+      // Spoofed SYN flood: random sources, few victims, no responses.
+      out.push_back(syn_packet(i, IPv4{rng.next()}, victims[rng.bounded(3)],
+                               80,
+                               static_cast<std::uint16_t>(rng.bounded(60000))));
+    } else if (roll < 9) {
+      // Horizontal scan: one source probing one port across many hosts.
+      out.push_back(syn_packet(i, IPv4(7, 7, 7, 7),
+                               IPv4{0x81690000u | (rng.next() & 0xffffu)},
+                               445));
+    } else {
+      // Vertical scan: one source walking ports on one host.
+      out.push_back(syn_packet(i, IPv4(8, 8, 8, 8), victims[0],
+                               static_cast<std::uint16_t>(rng.bounded(1024))));
+    }
+  }
+  return out;
+}
+
+void expect_bank_bit_identical(const SketchBank& a, const SketchBank& b) {
+  EXPECT_EQ(a.packets_recorded(), b.packets_recorded());
+  auto same = [](std::span<const double> x, std::span<const double> y) {
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(x[i], y[i]) << "counter " << i;
+    }
+  };
+  same(a.rs_sip_dport().counters(), b.rs_sip_dport().counters());
+  same(a.rs_dip_dport().counters(), b.rs_dip_dport().counters());
+  same(a.rs_sip_dip().counters(), b.rs_sip_dip().counters());
+  same(a.verif_sip_dport().counters(), b.verif_sip_dport().counters());
+  same(a.verif_dip_dport().counters(), b.verif_dip_dport().counters());
+  same(a.verif_sip_dip().counters(), b.verif_sip_dip().counters());
+  same(a.os_dip_dport().counters(), b.os_dip_dport().counters());
+  same(a.twod_sipdip_dport().cells(), b.twod_sipdip_dport().cells());
+  same(a.twod_sipdport_dip().cells(), b.twod_sipdport_dip().cells());
+  same(a.synack_history().counters(), b.synack_history().counters());
+}
+
+struct ShardedCase {
+  unsigned shards;
+  std::size_t ring_capacity;
+};
+
+class ShardedDeterminism : public ::testing::TestWithParam<ShardedCase> {};
+
+TEST_P(ShardedDeterminism, MergedShardsBitIdenticalToSerial) {
+  const auto [num_shards, ring_capacity] = GetParam();
+  Pcg32 stream_rng(0xacedULL * num_shards + ring_capacity);
+  const auto stream =
+      attack_heavy_stream(12000 + static_cast<int>(stream_rng.bounded(5000)),
+                         stream_rng.next64());
+
+  SketchBank serial(cfg());
+  for (const auto& p : stream) serial.record(p);
+
+  std::vector<std::unique_ptr<SketchBank>> banks;
+  std::vector<SketchBank*> shards;
+  for (unsigned i = 0; i < num_shards; ++i) {
+    banks.push_back(std::make_unique<SketchBank>(cfg()));
+    shards.push_back(banks.back().get());
+  }
+  {
+    ShardedRecorder rec(shards, ring_capacity);
+    // Mid-stream drains at random points exercise partial producer batches
+    // (the round-robin deal-out includes short flushed tails).
+    std::size_t next_drain = 1 + stream_rng.bounded(4096);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      rec.offer(stream[i]);
+      if (i == next_drain) {
+        rec.drain();
+        next_drain += 1 + stream_rng.bounded(4096);
+      }
+    }
+    rec.drain();
+  }
+
+  SketchBank merged(cfg());
+  merged.merge_shards(
+      std::span<const SketchBank* const>(shards.data(), shards.size()));
+  expect_bank_bit_identical(merged, serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsAndRings, ShardedDeterminism,
+    ::testing::Values(ShardedCase{1, 64}, ShardedCase{2, 8},
+                      ShardedCase{4, 16}, ShardedCase{8, 64},
+                      ShardedCase{8, ShardedRecorder::kDefaultRingCapacity}),
+    [](const auto& info) {
+      return "s" + std::to_string(info.param.shards) + "_ring" +
+             std::to_string(info.param.ring_capacity);
+    });
+
+TEST(ShardedDeterminismTest, PoolAndInlineMergeBitIdentical) {
+  // The per-sketch task fan-out must not change the arithmetic: merging on
+  // a pool and merging inline produce the same bank, bit for bit.
+  const auto stream = attack_heavy_stream(8000, 17);
+  std::vector<std::unique_ptr<SketchBank>> banks;
+  std::vector<SketchBank*> shards;
+  for (unsigned i = 0; i < 4; ++i) {
+    banks.push_back(std::make_unique<SketchBank>(cfg()));
+    shards.push_back(banks.back().get());
+  }
+  {
+    ShardedRecorder rec(shards);
+    for (const auto& p : stream) rec.offer(p);
+    rec.drain();
+  }
+  const std::span<const SketchBank* const> view(shards.data(), shards.size());
+  SketchBank inline_merged(cfg()), pooled(cfg());
+  inline_merged.merge_shards(view, nullptr);
+  TaskPool pool(4);
+  pooled.merge_shards(view, &pool);
+  expect_bank_bit_identical(pooled, inline_merged);
+}
+
+TEST(ShardedDeterminismTest, HistoryAccumulatesAcrossMergedIntervals) {
+  // Multi-interval equivalence: shards are per-interval accumulators (reset
+  // after each merge) while the merged bank retains the cumulative SYN/ACK
+  // service history — exactly the state a serially reused bank carries
+  // through record -> process -> clear cycles.
+  const auto interval1 = attack_heavy_stream(6000, 23);
+  const auto interval2 = attack_heavy_stream(6000, 29);
+
+  SketchBank serial(cfg());
+  for (const auto& p : interval1) serial.record(p);
+  serial.clear();  // keeps the SYN/ACK history, as the serial pipeline does
+  for (const auto& p : interval2) serial.record(p);
+
+  std::vector<std::unique_ptr<SketchBank>> banks;
+  std::vector<SketchBank*> shards;
+  for (unsigned i = 0; i < 4; ++i) {
+    banks.push_back(std::make_unique<SketchBank>(cfg()));
+    shards.push_back(banks.back().get());
+  }
+  const std::span<const SketchBank* const> view(shards.data(), shards.size());
+  SketchBank merged(cfg());
+  ShardedRecorder rec(shards);
+  for (const auto& p : interval1) rec.offer(p);
+  rec.drain();
+  merged.merge_shards(view);
+  for (SketchBank* s : shards) s->reset_all();
+  for (const auto& p : interval2) rec.offer(p);
+  rec.drain();
+  merged.merge_shards(view);
+  expect_bank_bit_identical(merged, serial);
+}
+
+TEST(ShardedRecorderTest, RebindSealsGenerationsExactly) {
+  // Packets offered before rebind() land in the old shard generation,
+  // packets after in the new one: each generation's merge matches a serial
+  // bank fed only that side of the seal.
+  const SketchBankConfig c = cfg();
+  SketchBank serial_a(c), serial_b(c);
+  feed_completed(serial_a, IPv4(10, 0, 0, 1), IPv4(10, 0, 0, 2), 80, 300);
+  feed_hscan(serial_b, IPv4(7, 7, 7, 7), 445, 300);
+
+  std::vector<std::unique_ptr<SketchBank>> banks;
+  std::vector<SketchBank*> gen_a, gen_b;
+  for (unsigned i = 0; i < 6; ++i) {
+    banks.push_back(std::make_unique<SketchBank>(c));
+    (i < 3 ? gen_a : gen_b).push_back(banks.back().get());
+  }
+  ShardedRecorder rec(gen_a, /*ring_capacity=*/16);
+  feed_completed(rec, IPv4(10, 0, 0, 1), IPv4(10, 0, 0, 2), 80, 300);
+  rec.rebind(gen_b);
+  feed_hscan(rec, IPv4(7, 7, 7, 7), 445, 300);
+  rec.drain();
+
+  SketchBank merged_a(c), merged_b(c);
+  merged_a.merge_shards(
+      std::span<const SketchBank* const>(gen_a.data(), gen_a.size()));
+  merged_b.merge_shards(
+      std::span<const SketchBank* const>(gen_b.data(), gen_b.size()));
+  expect_bank_bit_identical(merged_a, serial_a);
+  expect_bank_bit_identical(merged_b, serial_b);
+}
+
+TEST(ShardedRecorderTest, TakeShardOpsAccountsEveryOpOnce) {
+  const auto stream = attack_heavy_stream(5000, 31);
+  std::vector<std::unique_ptr<SketchBank>> banks;
+  std::vector<SketchBank*> shards;
+  for (unsigned i = 0; i < 4; ++i) {
+    banks.push_back(std::make_unique<SketchBank>(cfg()));
+    shards.push_back(banks.back().get());
+  }
+  ShardedRecorder rec(shards);
+  for (const auto& p : stream) rec.offer(p);
+  rec.drain();
+  const auto ops = rec.take_shard_ops();
+  ASSERT_EQ(ops.size(), 4u);
+  std::uint64_t total = 0, per_shard_sum = 0;
+  for (std::uint64_t o : ops) total += o;
+  for (const SketchBank* s : shards) per_shard_sum += s->packets_recorded();
+  // Each op is dealt to exactly one shard; every stream packet is a SYN or
+  // SYN-ACK so none are skipped at extraction.
+  EXPECT_EQ(total, stream.size());
+  EXPECT_EQ(per_shard_sum, stream.size());
+  // The counter is a delta: a second take with no new traffic reads zero.
+  for (std::uint64_t o : rec.take_shard_ops()) EXPECT_EQ(o, 0u);
+}
+
+TEST(ShardedRecorderTest, RejectsInvalidShardSets) {
+  SketchBank a(cfg()), b(cfg());
+  std::vector<SketchBank*> none;
+  EXPECT_THROW(ShardedRecorder{none}, std::invalid_argument);
+  std::vector<SketchBank*> two{&a, &b};
+  ShardedRecorder rec(two);
+  std::vector<SketchBank*> one{&a};
+  EXPECT_THROW(rec.rebind(one), std::invalid_argument);
+}
+
+TEST(ShardMergeTest, RejectsAliasedAndMismatchedInputs) {
+  SketchBank merged(cfg()), shard(cfg());
+  // Destination aliasing a shard would read overwritten state.
+  {
+    std::vector<const SketchBank*> terms{&merged};
+    EXPECT_THROW(merged.merge_shards(std::span<const SketchBank* const>(
+                     terms.data(), terms.size())),
+                 std::invalid_argument);
+  }
+  // Config mismatch (different seed => different hash rows) is not linear.
+  SketchBankConfig other = cfg();
+  other.seed = 43;
+  SketchBank mismatched(other);
+  {
+    std::vector<const SketchBank*> terms{&mismatched};
+    EXPECT_THROW(merged.merge_shards(std::span<const SketchBank* const>(
+                     terms.data(), terms.size())),
+                 std::invalid_argument);
+  }
+  // Empty shard set has no defined sum.
+  EXPECT_THROW(
+      merged.merge_shards(std::span<const SketchBank* const>()),
+      std::invalid_argument);
+  // A valid single-shard merge still works after the failed attempts.
+  std::vector<const SketchBank*> ok{&shard};
+  merged.merge_shards(
+      std::span<const SketchBank* const>(ok.data(), ok.size()));
+  EXPECT_EQ(merged.packets_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace hifind

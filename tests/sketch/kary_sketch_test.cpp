@@ -98,6 +98,50 @@ TEST(KarySketchTest, CombineWithCoefficientsScales) {
   EXPECT_NEAR(KarySketch::combine(terms).estimate(7), 16.0, 1e-9);
 }
 
+// combine_into is the allocation-free shard-merge primitive: it must match
+// the allocating combine() bit for bit, reuse a dirty destination, and keep
+// the update-count linear in its terms.
+TEST(KarySketchTest, CombineIntoMatchesCombineAndReusesDestination) {
+  KarySketch a(small_config(5)), b(small_config(5));
+  Pcg32 rng(17);
+  for (int i = 0; i < 3000; ++i) {
+    (rng.chance(0.5) ? a : b).update(rng.next64() & 0xffff,
+                                     rng.chance(0.5) ? 1.0 : -1.0);
+  }
+  std::vector<std::pair<double, const KarySketch*>> terms{{1.0, &a},
+                                                          {1.0, &b}};
+  const KarySketch reference = KarySketch::combine(terms);
+
+  KarySketch dest(small_config(5));
+  dest.update(999, 123.0);  // stale state combine_into must fully overwrite
+  dest.combine_into(terms);
+  const auto rc = reference.counters();
+  const auto dc = dest.counters();
+  ASSERT_EQ(rc.size(), dc.size());
+  for (std::size_t i = 0; i < rc.size(); ++i) ASSERT_EQ(rc[i], dc[i]);
+  EXPECT_EQ(dest.update_count(), a.update_count() + b.update_count());
+  for (std::size_t h = 0; h < dest.num_stages(); ++h) {
+    EXPECT_DOUBLE_EQ(dest.stage_sum(h), reference.stage_sum(h));
+  }
+}
+
+TEST(KarySketchTest, CombineIntoAllowsAliasingTermZeroOnly) {
+  KarySketch a(small_config(5)), b(small_config(5));
+  a.update(7, 3.0);
+  b.update(9, 5.0);
+  const std::vector<std::pair<double, const KarySketch*>> terms{{1.0, &a},
+                                                                {1.0, &b}};
+  const KarySketch reference = KarySketch::combine(terms);
+  // dest == term 0: in-place accumulate, still exact.
+  a.combine_into(terms);
+  const auto rc = reference.counters();
+  const auto ac = a.counters();
+  for (std::size_t i = 0; i < rc.size(); ++i) ASSERT_EQ(rc[i], ac[i]);
+  // dest == a later term would read already-overwritten state: rejected.
+  std::vector<std::pair<double, const KarySketch*>> bad{{1.0, &a}, {1.0, &b}};
+  EXPECT_THROW(b.combine_into(bad), std::invalid_argument);
+}
+
 TEST(KarySketchTest, CombineRejectsShapeMismatch) {
   KarySketch a(small_config(1)), b(small_config(2));  // different seeds
   EXPECT_THROW(a.accumulate(b), std::invalid_argument);

@@ -118,6 +118,28 @@ TEST(ReversibleSketchTest, CombineEqualsSingleRecorder) {
   }
 }
 
+TEST(ReversibleSketchTest, CombineIntoMatchesCombineOnDirtyDestination) {
+  ReversibleSketch a(rs48(5)), b(rs48(5));
+  Pcg32 rng(29);
+  for (int i = 0; i < 3000; ++i) {
+    (rng.chance(0.5) ? a : b)
+        .update(rng.next64() & ((1ULL << 48) - 1), rng.chance(0.6) ? 1.0 : -1.0);
+  }
+  std::vector<std::pair<double, const ReversibleSketch*>> terms{{1.0, &a},
+                                                                {1.0, &b}};
+  const ReversibleSketch reference = ReversibleSketch::combine(terms);
+  ReversibleSketch dest(rs48(5));
+  dest.update(42, 7.0);  // stale state combine_into must fully overwrite
+  dest.combine_into(terms);
+  const auto rc = reference.counters();
+  const auto dc = dest.counters();
+  ASSERT_EQ(rc.size(), dc.size());
+  for (std::size_t i = 0; i < rc.size(); ++i) {
+    ASSERT_EQ(rc[i], dc[i]) << "counter " << i;
+  }
+  EXPECT_EQ(dest.update_count(), a.update_count() + b.update_count());
+}
+
 TEST(ReversibleSketchTest, CombineRejectsMismatchedSeeds) {
   ReversibleSketch a(rs48(1)), b(rs48(2));
   EXPECT_THROW(a.accumulate(b), std::invalid_argument);

@@ -132,6 +132,26 @@ TEST(TwoDSketchTest, CombineEqualsSingleRecorder) {
   }
 }
 
+TEST(TwoDSketchTest, CombineIntoMatchesCombineOnDirtyDestination) {
+  TwoDSketch a(cfg(9)), b(cfg(9));
+  Pcg32 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    (rng.chance(0.5) ? a : b)
+        .update(rng.next() & 0xff, rng.next() & 0xffff, 1.0);
+  }
+  std::vector<std::pair<double, const TwoDSketch*>> terms{{1.0, &a},
+                                                          {1.0, &b}};
+  const TwoDSketch reference = TwoDSketch::combine(terms);
+  TwoDSketch dest(cfg(9));
+  dest.update(3, 3, 99.0);  // stale state combine_into must fully overwrite
+  dest.combine_into(terms);
+  const auto rc = reference.cells();
+  const auto dc = dest.cells();
+  ASSERT_EQ(rc.size(), dc.size());
+  for (std::size_t i = 0; i < rc.size(); ++i) ASSERT_EQ(rc[i], dc[i]);
+  EXPECT_EQ(dest.update_count(), a.update_count() + b.update_count());
+}
+
 TEST(TwoDSketchTest, CombineRejectsMismatch) {
   TwoDSketch a(cfg(1)), b(cfg(2));
   EXPECT_THROW(a.accumulate(b), std::invalid_argument);
