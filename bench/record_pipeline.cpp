@@ -19,6 +19,12 @@
 //               isolating what the epoch thread absorbs per seal (a
 //               function of bank size, not traffic volume — it amortizes
 //               over the interval);
+//   - UnsheddedIngest/OverloadedIngest: the full OverlappedPipeline ingest
+//     path (offer + close, epochs overlapped) without and with the load
+//     shedder escalated by a tight recording budget. The overloaded variant
+//     must SUSTAIN offered load well past the unshedded saturation rate —
+//     shed ops cost one hash — while holding coverage above the configured
+//     floor and close_stall_us at 0 (the ISSUE acceptance gates);
 //   - UpdateScalar/UpdateBatch: single-sketch scalar update() vs
 //     update_batch() on the bank's largest reversible sketch (64-bit keys,
 //     2^16 buckets) and on a verification-shaped k-ary sketch.
@@ -36,6 +42,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "detect/overlapped.hpp"
 #include "detect/parallel_recorder.hpp"
 #include "detect/sketch_bank.hpp"
 #include "sketch/reversible_sketch.hpp"
@@ -254,6 +261,69 @@ void BM_ShardMerge(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ShardMerge)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Overload: full pipeline ingest (offer + close) with and without shedding.
+
+/// One pipeline per bench run. The bank is small and the detection threshold
+/// is out of reach so epochs stay trivial: this measures the INGEST path,
+/// and any epoch bleed-back into it shows up as close_stall_us != 0.
+OverlappedPipelineConfig ingest_pipe_cfg(std::uint64_t shed_budget) {
+  OverlappedPipelineConfig cfg;
+  cfg.bank.seed = 42;
+  cfg.bank.rs48.bucket_bits = 12;
+  cfg.bank.rs64.bucket_bits = 8;
+  cfg.bank.verification.num_buckets = 1u << 10;
+  cfg.bank.original.num_buckets = 1u << 10;
+  cfg.bank.twod.x_buckets = 1u << 8;
+  cfg.bank.twod.y_buckets = 16;
+  cfg.detector.interval_seconds = 60;
+  cfg.detector.syn_rate_threshold = 1e9;
+  cfg.record_threads = 2;
+  cfg.shed.budget_ops_per_interval = shed_budget;
+  return cfg;
+}
+
+void ingest_bench(benchmark::State& state, std::uint64_t shed_budget) {
+  OverlappedPipeline pipe(ingest_pipe_cfg(shed_budget));
+  const auto stream = recordable_stream(kStreamLen);
+  double coverage = 1.0;
+  std::uint32_t level_max = 0;
+  for (auto _ : state) {
+    for (const auto& p : stream) pipe.offer(p);
+    pipe.close_interval();
+    // Pace the closes like production does (60 s of traffic per close, not
+    // back-to-back): let the epoch drain OUTSIDE the timed region so
+    // close_stall_us reports genuine epoch bleed-back into ingest, not the
+    // bench's own pathological close rate.
+    state.PauseTiming();
+    pipe.wait_epoch_idle();
+    for (const IntervalResult& r : pipe.take_results()) {
+      coverage = r.coverage.sample_coverage;
+      level_max = std::max(level_max, r.coverage.shed_level_max);
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+  state.counters["close_stall_us"] =
+      static_cast<double>(pipe.close_stall_us());
+  state.counters["sample_coverage"] = coverage;
+  state.counters["shed_level_max"] = static_cast<double>(level_max);
+}
+
+void BM_UnsheddedIngest(benchmark::State& state) {
+  ingest_bench(state, /*shed_budget=*/0);
+}
+BENCHMARK(BM_UnsheddedIngest)->UseRealTime();
+
+void BM_OverloadedIngest(benchmark::State& state) {
+  // Budget at 1/16 of the interval's offered ops: the shedder escalates to
+  // ~level 4, so most ops cost one mix64 + branch and ingest must sustain
+  // a multiple of the unshedded saturation rate.
+  ingest_bench(state, /*shed_budget=*/kStreamLen / 16);
+}
+BENCHMARK(BM_OverloadedIngest)->UseRealTime();
 
 std::vector<KeyDelta> random_ops(std::size_t n, int bits) {
   Pcg32 rng(7);

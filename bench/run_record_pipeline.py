@@ -18,6 +18,12 @@ acceptance gates care about:
 and scaling_efficiency: sharded[N] / (N * sharded[1]) per thread count —
 1.0 is perfect shared-nothing scaling; the shared-bank pipeline cannot
 approach it because every op is copied into every worker's ring.
+
+The overload section covers the full OverlappedPipeline ingest path with and
+without load shedding (BM_UnsheddedIngest / BM_OverloadedIngest):
+    overload_vs_unshedded  >= 2.0 expected (shed ops cost one hash)
+    sample_coverage        >= 1/64 (the default max_level=6 floor)
+    close_stall_us         == 0 (epochs never bleed into ingest)
 All numbers come from the same binary in the same run, on the same machine.
 """
 
@@ -65,6 +71,7 @@ def main() -> int:
         os.unlink(raw_path)
 
     items = {}
+    counters = {}
     for bench in raw["benchmarks"]:
         if bench.get("run_type") == "aggregate":
             continue
@@ -72,6 +79,11 @@ def main() -> int:
         # the benchmark name; the rate is items per wall-clock second.
         name = bench["name"].removesuffix("/real_time")
         items[name] = bench.get("items_per_second")
+        counters[name] = {
+            k: bench[k]
+            for k in ("close_stall_us", "sample_coverage", "shed_level_max")
+            if k in bench
+        }
 
     def threaded(prefix: str) -> dict:
         out = {}
@@ -101,6 +113,16 @@ def main() -> int:
             "update_scalar_kary": items.get("BM_UpdateScalarKary"),
             "update_batch_kary": items.get("BM_UpdateBatchKary"),
         },
+        # Full-pipeline ingest under overload: offered packets/s sustained,
+        # the per-interval shed coverage, and the close-stall backpressure
+        # accrued over the whole run (must stay 0 — shedding exists so that
+        # overload never reaches the epoch handoff).
+        "overload": {
+            "unshedded_items_per_second": items.get("BM_UnsheddedIngest"),
+            "overloaded_items_per_second": items.get("BM_OverloadedIngest"),
+            "unshedded": counters.get("BM_UnsheddedIngest"),
+            "overloaded": counters.get("BM_OverloadedIngest"),
+        },
     }
 
     def ratio(a, b):
@@ -121,6 +143,10 @@ def main() -> int:
         ),
         "batch_vs_scalar_kary": ratio(
             ips["update_batch_kary"], ips["update_scalar_kary"]
+        ),
+        "overload_vs_unshedded": ratio(
+            result["overload"]["overloaded_items_per_second"],
+            result["overload"]["unshedded_items_per_second"],
         ),
     }
     # Shared-nothing scaling: sharded[N] / (N * sharded[1]). With private

@@ -26,20 +26,35 @@ std::string Alert::describe() const {
 }
 
 std::string CoverageReport::describe() const {
+  std::string out;
   if (!degraded) {
-    return "coverage " + std::to_string(routers_combined.empty()
-                                            ? routers_total
-                                            : routers_combined.size()) +
-           "/" + std::to_string(routers_total) + " (clean)";
+    out = "coverage " + std::to_string(routers_combined.empty()
+                                           ? routers_total
+                                           : routers_combined.size()) +
+          "/" + std::to_string(routers_total) + " (clean)";
+  } else {
+    out = "coverage " + std::to_string(routers_combined.size()) + "/" +
+          std::to_string(routers_total) + " DEGRADED, missing{";
+    for (std::size_t i = 0; i < routers_missing.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(routers_missing[i]);
+    }
+    out += '}';
   }
-  std::string out = "coverage " + std::to_string(routers_combined.size()) +
-                    "/" + std::to_string(routers_total) + " DEGRADED, missing{";
-  for (std::size_t i = 0; i < routers_missing.size(); ++i) {
-    if (i) out += ',';
-    out += std::to_string(routers_missing[i]);
+  if (shed) {
+    out += "; SHED " + std::to_string(ops_shed) + "/" +
+           std::to_string(ops_offered) + " ops (sample coverage " +
+           std::to_string(sample_coverage) + ", max level " +
+           std::to_string(shed_level_max) + ")";
   }
-  out += '}';
   return out;
+}
+
+std::string RefinementReport::describe() const {
+  if (!active) return "refinement inactive";
+  return "refinement tracked=" + std::to_string(tracked) + " confirmed=" +
+         std::to_string(confirmed) + " killed=" + std::to_string(killed) +
+         " unverified=" + std::to_string(unverified);
 }
 
 std::string EpochReport::describe() const {
@@ -65,6 +80,10 @@ std::string EpochReport::describe() const {
            std::to_string(merge_us) + "us, occupancy [" +
            std::to_string(shard_occupancy_min) + ", " +
            std::to_string(shard_occupancy_max) + "]";
+  }
+  if (ring_full_spins > 0 || drain_spin_yields > 0) {
+    out += "; ring backpressure full=" + std::to_string(ring_full_spins) +
+           " drain_yields=" + std::to_string(drain_spin_yields);
   }
   return out;
 }

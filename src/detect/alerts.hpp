@@ -68,6 +68,45 @@ struct CoverageReport {
   double fraction{1.0};
   bool degraded{false};  ///< true iff any expected bank was not combined
 
+  // --- Local load-shedding coverage (detect/load_shedder.hpp) -------------
+  // Orthogonal to the distributed fields above: `fraction` says how many
+  // ROUTER banks made it into the sum, `sample_coverage` says what fraction
+  // of the local recordable ops each bank actually sampled. The two faults
+  // COMPOSE — total evidence fraction = fraction * sample_coverage — but
+  // their rescales must not: shed ops are compensated INLINE (weight
+  // 2^level at record time), so the collector's 1/fraction bank rescale is
+  // still the only end-of-interval scaling. The combined-fault test pins
+  // this down.
+  /// Fraction of locally recordable ops admitted past the shedder; 1.0 when
+  /// no shedding occurred.
+  double sample_coverage{1.0};
+  bool shed{false};                 ///< any op dropped by the shedder
+  std::uint64_t ops_offered{0};     ///< recordable ops seen by the shedder
+  std::uint64_t ops_shed{0};        ///< ops dropped (hash-sampled out)
+  std::uint32_t shed_level_max{0};  ///< deepest shed level (rate 2^-level)
+
+  /// Evidence fraction behind this interval's counters: router coverage
+  /// times local sampling coverage.
+  double effective_coverage() const { return fraction * sample_coverage; }
+
+  std::string describe() const;
+};
+
+/// Outcome of exact-flow alert refinement (detect/flow_refinery.hpp): how
+/// many of the interval's final alerts the bounded active-flow table could
+/// confirm or kill with per-flow evidence. Verdict counts are a pure
+/// function of (alerts, sealed evidence, config) — the determinism tests
+/// compare reports across shard counts — so the struct carries no
+/// wall-clock or capacity-pressure telemetry.
+struct RefinementReport {
+  bool active{false};          ///< refinement ran for this interval
+  std::size_t tracked{0};      ///< evidence entries at refine time
+  std::size_t confirmed{0};    ///< alerts backed by exact evidence
+  std::size_t killed{0};       ///< alerts contradicted (collision noise)
+  std::size_t unverified{0};   ///< alerts with no full-interval evidence yet
+
+  bool operator==(const RefinementReport&) const = default;
+
   std::string describe() const;
 };
 
@@ -103,6 +142,18 @@ struct EpochReport {
   /// 1.0 = perfectly balanced (share * shard count).
   double shard_occupancy_min{1.0};
   double shard_occupancy_max{1.0};
+  /// Producer backpressure: times the producer found a ring FULL and had to
+  /// back off while publishing this interval's ops, summed over shards
+  /// (shared mode: over workers). 0 means ingest never waited on a
+  /// consumer.
+  std::uint64_t ring_full_spins{0};
+  /// Per-ring breakdown of `ring_full_spins` (one entry per shard in
+  /// sharded mode, per worker in shared mode): which ring is the choke
+  /// point.
+  std::vector<std::uint64_t> shard_ring_full_spins;
+  /// Times this interval's drain() exhausted its spin budget and yielded or
+  /// slept (delta of the recorder's lifetime counter).
+  std::uint64_t drain_spin_yields{0};
 
   /// Equality covers the deterministic degradation contract only (budget +
   /// truncation state); see the telemetry comment above.
@@ -125,6 +176,15 @@ struct IntervalResult {
   std::vector<Alert> raw;       ///< Phase 1
   std::vector<Alert> after_2d;  ///< Phase 2
   std::vector<Alert> final;     ///< Phase 3
+  /// Phase 3 after exact-flow refinement (final minus alerts the active
+  /// flow table killed as collision noise; see detect/flow_refinery.hpp).
+  /// Equals `final` when refinement is off or no evidence existed —
+  /// consumers can always read this field. `final` is left untouched so the
+  /// sketch-level determinism contract is unchanged by refinement.
+  std::vector<Alert> refined;
+  /// Verdict counts behind `refined`; default-inactive when refinement
+  /// never ran.
+  RefinementReport refinement;
   /// Collection quality behind this interval's bank; defaults to the clean
   /// single-vantage report.
   CoverageReport coverage;

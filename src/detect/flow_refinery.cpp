@@ -1,0 +1,138 @@
+#include "detect/flow_refinery.hpp"
+
+#include <algorithm>
+
+namespace hifind {
+
+ActiveFlowTable::ActiveFlowTable(const FlowRefineryConfig& config)
+    : config_(config) {}
+
+FlowEvidence ActiveFlowTable::seal(std::uint64_t interval) {
+  FlowEvidence evidence;
+  evidence.interval = interval;
+  evidence.entries.reserve(size_);
+  for (std::size_t k = 0; k < maps_.size(); ++k) {
+    Map& map = maps_[k];
+    for (auto it = map.begin(); it != map.end();) {
+      Entry& e = it->second;
+      FlowEvidenceEntry out;
+      out.kind = static_cast<KeyKind>(k);
+      out.key = it->first;
+      out.syn = e.syn;
+      out.synack = e.synack;
+      out.full_interval = e.installed < interval;
+      evidence.entries.push_back(out);
+      e.syn = 0.0;
+      e.synack = 0.0;
+      // Staleness eviction: the detector stopped flagging this key long
+      // enough ago that tracking it buys nothing.
+      if (interval - e.last_flagged >= config_.max_idle_intervals) {
+        it = map.erase(it);
+        --size_;
+        ++evicted_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Snapshot order must not leak unordered_map iteration order into
+  // anything downstream: sort so the evidence — and any report built from
+  // it — is a pure function of the table's CONTENTS.
+  std::sort(evidence.entries.begin(), evidence.entries.end(),
+            [](const FlowEvidenceEntry& a, const FlowEvidenceEntry& b) {
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.key < b.key;
+            });
+  return evidence;
+}
+
+void ActiveFlowTable::install(const std::vector<FlowCandidate>& candidates,
+                              std::uint64_t interval) {
+  if (!config_.enabled || config_.capacity == 0) return;
+  for (const FlowCandidate& c : candidates) {
+    Map& map = maps_[static_cast<std::size_t>(c.kind)];
+    auto it = map.find(c.key);
+    if (it != map.end()) {
+      it->second.last_flagged = interval;
+      continue;
+    }
+    if (size_ >= config_.capacity) evict_stalest();
+    Entry e;
+    e.installed = interval;
+    e.last_flagged = interval;
+    map.emplace(c.key, e);
+    ++size_;
+  }
+}
+
+void ActiveFlowTable::evict_stalest() {
+  // O(size) scan, but only on overflow of a table whose membership changes
+  // by at most a handful of alert keys per interval. Ties break on
+  // (kind, key) so the victim never depends on hash-map iteration order.
+  Map* victim_map = nullptr;
+  Map::iterator victim;
+  std::size_t victim_kind = 0;
+  for (std::size_t k = 0; k < maps_.size(); ++k) {
+    for (auto it = maps_[k].begin(); it != maps_[k].end(); ++it) {
+      if (victim_map == nullptr ||
+          it->second.last_flagged < victim->second.last_flagged ||
+          (it->second.last_flagged == victim->second.last_flagged &&
+           (k < victim_kind ||
+            (k == victim_kind && it->first < victim->first)))) {
+        victim_map = &maps_[k];
+        victim = it;
+        victim_kind = k;
+      }
+    }
+  }
+  if (victim_map != nullptr) {
+    victim_map->erase(victim);
+    --size_;
+    ++evicted_;
+  }
+}
+
+RefinementOutcome refine_alerts(const std::vector<Alert>& final_alerts,
+                                const FlowEvidence& evidence,
+                                double interval_threshold,
+                                const FlowRefineryConfig& config) {
+  RefinementOutcome out;
+  out.refined = final_alerts;
+  if (!config.enabled) return out;
+  out.report.active = true;
+  out.report.tracked = evidence.entries.size();
+  if (final_alerts.empty()) return out;
+
+  std::array<std::unordered_map<std::uint64_t, const FlowEvidenceEntry*>, 3>
+      by_key;
+  for (const FlowEvidenceEntry& e : evidence.entries) {
+    by_key[static_cast<std::size_t>(e.kind)].emplace(e.key, &e);
+  }
+
+  const double confirm_floor = config.confirm_fraction * interval_threshold;
+  out.refined.clear();
+  out.refined.reserve(final_alerts.size());
+  for (const Alert& a : final_alerts) {
+    const auto& map = by_key[static_cast<std::size_t>(a.key_kind)];
+    const auto it = map.find(a.key);
+    if (it == map.end() || !it->second->full_interval) {
+      // No full-interval exact evidence yet (first sighting, or installed
+      // mid-stream): pass through unrefined.
+      ++out.report.unverified;
+      out.refined.push_back(a);
+      continue;
+    }
+    if (it->second->unresponded() >= confirm_floor) {
+      ++out.report.confirmed;
+      out.refined.push_back(a);
+    } else {
+      // The sketches said "anomalous", the exact per-flow counters say the
+      // key's real un-responded-SYN mass is nowhere near the threshold:
+      // collision noise, killed before it reaches a consumer.
+      ++out.report.killed;
+    }
+  }
+  return out;
+}
+
+}  // namespace hifind

@@ -130,6 +130,9 @@ IntervalResult HifindDetector::process(const SketchBank& bank,
   result.final = config_.enable_phase3
                      ? phase3(bank, e_os, result.after_2d)
                      : result.after_2d;
+  // Consumers can always read `refined`; refinement-capable drivers (the
+  // overlapped pipeline) overwrite it with the evidence-filtered list.
+  result.refined = result.final;
   return result;
 }
 

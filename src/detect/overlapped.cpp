@@ -22,7 +22,10 @@ std::size_t resolve_epoch_threads(std::size_t configured) {
 }  // namespace
 
 OverlappedPipeline::OverlappedPipeline(const OverlappedPipelineConfig& config)
-    : config_(config), detector_(config.detector) {
+    : config_(config),
+      detector_(config.detector),
+      shedder_(config.shed),
+      flow_table_(config.refinery) {
   using RecordMode = OverlappedPipelineConfig::RecordMode;
   if (config.record_mode == RecordMode::kShardedReplicas) {
     const std::size_t n = std::clamp<std::size_t>(config.record_threads, 1,
@@ -67,10 +70,36 @@ OverlappedPipeline::~OverlappedPipeline() {
 }
 
 void OverlappedPipeline::offer(const PacketRecord& p, double weight) {
+  RecordOp op;
+  if (!make_record_op(p, weight, op)) return;
+  // Exact-flow evidence accumulates from the PRE-shed op stream: the table
+  // sees every recordable op at its offered weight even when the sketches
+  // run at 2^-k coverage. empty() keeps the common no-candidates case at
+  // one branch.
+  if (!flow_table_.empty()) flow_table_.observe(op);
+  if (shedder_.enabled()) {
+    if (config_.shed.occupancy_trigger &&
+        (++occupancy_probe_ & 0xFF) == 0) {
+      // Decimated ring probe: a relaxed cursor read every 256 recordable
+      // ops, only worth paying when the timing-coupled trigger is on.
+      shedder_.note_ring_pressure(sharded_recorder_
+                                      ? sharded_recorder_->producer_backlog()
+                                      : shared_recorder_->producer_backlog());
+    }
+    const double w = shedder_.admit(op);
+    if (w == 0.0) return;  // shed: the flow's 2^-k cohort carries its mass
+    if (w != 1.0) {
+      // Inline Horvitz–Thompson compensation: the counters themselves carry
+      // the 1/coverage rescale, exactly, even across mid-interval level
+      // changes — and 2^k weights keep the shard merge bit-exact.
+      op.delta *= w;
+      op.weight *= w;
+    }
+  }
   if (sharded_recorder_) {
-    sharded_recorder_->offer(p, weight);
+    sharded_recorder_->offer_op(op);
   } else {
-    shared_recorder_->offer(p, weight);
+    shared_recorder_->offer_op(op);
   }
 }
 
@@ -87,7 +116,10 @@ void OverlappedPipeline::close_interval() {
   // 1. Backpressure point: the previous epoch gets the whole interval to
   //    finish; if it is still running now, the seal must wait for it (the
   //    spare generation is its input). This wait is the ONLY place the
-  //    epoch can block ingest, and it is measured.
+  //    epoch can block ingest, and it is measured. The same wait is what
+  //    makes the candidate hand-off safe: once it returns, the previous
+  //    epoch has posted its flagged keys and will not touch them again.
+  std::vector<FlowCandidate> candidates;
   {
     const Clock::time_point t0 = Clock::now();
     std::unique_lock<std::mutex> lock(mu_);
@@ -99,48 +131,70 @@ void OverlappedPipeline::close_interval() {
               .count());
     }
     rethrow_epoch_error_locked();
+    candidates = std::exchange(pending_candidates_, {});
   }
 
+  // 2. Seal the recording generation: every offered packet applied. The
+  //    backpressure counters are snapshotted right after the drain so the
+  //    interval's report covers its own drain as well.
+  std::vector<std::uint64_t> shard_ops;
+  std::vector<std::uint64_t> ring_full;
+  std::uint64_t drain_yields_total = 0;
+  if (sharded_recorder_) {
+    sharded_recorder_->drain();
+    shard_ops = sharded_recorder_->take_shard_ops();
+    ring_full = sharded_recorder_->take_ring_full_spins();
+    drain_yields_total = sharded_recorder_->drain_spin_yields();
+  } else {
+    shared_recorder_->drain();
+    ring_full = shared_recorder_->take_ring_full_spins();
+    drain_yields_total = shared_recorder_->drain_spin_yields();
+  }
+  const std::uint64_t drain_yields = drain_yields_total - last_drain_yields_;
+  last_drain_yields_ = drain_yields_total;
+
+  // 3. Seal the overload layer. Order matters: seal() snapshots evidence
+  //    for keys installed BEFORE this interval (full-interval counts), and
+  //    only then are the previous epoch's fresh candidates installed — a
+  //    just-flagged key must not seal a partial interval as evidence and
+  //    kill a real attack.
+  FlowEvidence evidence = flow_table_.seal(interval_);
+  flow_table_.install(candidates, interval_);
+  ShedReport shed = shedder_.seal_interval();
+
+  // 4. Resume ingest into the spare generation.
   if (sharded_recorder_) {
     // Sharded seal: drain + rebind ONLY. The spare generation comes back
     // from the previous epoch already reset (the epoch thread resets its
     // input shards right after merging them), and the cumulative SYN/ACK
     // history lives in the epoch-owned merged bank — so the ingest path
     // pays no clear and no history copy at the seal.
-    sharded_recorder_->drain();
-    std::vector<std::uint64_t> shard_ops = sharded_recorder_->take_shard_ops();
     sharded_recorder_->rebind(std::span<SketchBank* const>(shards_spare_));
     std::swap(shards_active_, shards_spare_);
-
-    // Kick the sealed generation's epoch (now pointed to by shards_spare_).
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      epoch_shards_ = shards_spare_;
-      epoch_shard_ops_ = std::move(shard_ops);
-      epoch_interval_ = interval_++;
-      epoch_busy_ = true;
-    }
-    cv_.notify_all();
-    return;
+  } else {
+    // Prepare the spare generation for the next interval. clear() drops
+    // its two-intervals-old per-interval counters; the history sync keeps
+    // the lifetime SYN/ACK state identical to a serially reused bank.
+    spare_->clear();
+    spare_->sync_history_from(*active_);
+    shared_recorder_->rebind(*spare_);
+    std::swap(active_, spare_);
   }
 
-  // 2. Seal generation `active_`: every offered packet applied.
-  shared_recorder_->drain();
-
-  // 3. Prepare the spare generation for the next interval. clear() drops
-  //    its two-intervals-old per-interval counters; the history sync keeps
-  //    the lifetime SYN/ACK state identical to a serially reused bank.
-  spare_->clear();
-  spare_->sync_history_from(*active_);
-
-  // 4. Resume ingest into the spare generation.
-  shared_recorder_->rebind(*spare_);
-  std::swap(active_, spare_);
-
-  // 5. Kick the sealed generation's epoch (now pointed to by spare_).
+  // 5. Kick the sealed generation's epoch (now pointed to by the spare
+  //    side), with the interval's overload inputs riding the same mailbox.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    epoch_bank_ = spare_;
+    if (sharded_recorder_) {
+      epoch_shards_ = shards_spare_;
+      epoch_shard_ops_ = std::move(shard_ops);
+    } else {
+      epoch_bank_ = spare_;
+    }
+    epoch_shed_ = shed;
+    epoch_evidence_ = std::move(evidence);
+    epoch_ring_full_ = std::move(ring_full);
+    epoch_drain_yields_ = drain_yields;
     epoch_interval_ = interval_++;
     epoch_busy_ = true;
   }
@@ -165,6 +219,10 @@ void OverlappedPipeline::epoch_loop() {
     std::vector<SketchBank*> shards;
     std::vector<std::uint64_t> shard_ops;
     std::uint64_t interval = 0;
+    ShedReport shed;
+    FlowEvidence evidence;
+    std::vector<std::uint64_t> ring_full;
+    std::uint64_t drain_yields = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || epoch_busy_; });
@@ -172,11 +230,22 @@ void OverlappedPipeline::epoch_loop() {
       bank = epoch_bank_;
       shards = epoch_shards_;
       shard_ops = std::move(epoch_shard_ops_);
+      shed = epoch_shed_;
+      evidence = std::move(epoch_evidence_);
+      ring_full = std::move(epoch_ring_full_);
+      drain_yields = epoch_drain_yields_;
       interval = epoch_interval_;
     }
     IntervalResult result;
     std::exception_ptr error;
     try {
+      // Slow-consumer fault injection (tests/benches): pretend this epoch
+      // is expensive before doing any real work, so the NEXT close sees
+      // the stall exactly as it would behind a genuinely slow epoch.
+      if (config_.inject_epoch_stall_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(config_.inject_epoch_stall_us));
+      }
       if (!shards.empty()) {
         // Stage 1 — reduce the sealed shard replicas into the merged bank
         // (per-interval sketches overwritten, shard SYN/ACK history deltas
@@ -218,6 +287,31 @@ void OverlappedPipeline::epoch_loop() {
       } else {
         result = detector_.process(*bank, interval);
       }
+
+      // Overload stamping, both modes. Coverage: the counters already carry
+      // the inline 2^k compensation, so sample_coverage is REPORTING — no
+      // further rescale happens (or may happen) downstream.
+      result.coverage.sample_coverage = shed.sample_coverage;
+      result.coverage.shed = shed.shed();
+      result.coverage.ops_offered = shed.ops_offered;
+      result.coverage.ops_shed = shed.ops_shed;
+      result.coverage.shed_level_max = shed.level_max;
+
+      // Exact-flow refinement against the interval's sealed evidence — a
+      // pure function of (final alerts, evidence, config), off the ingest
+      // path like everything else in the epoch.
+      RefinementOutcome refined = refine_alerts(
+          result.final, evidence, detector_.config().interval_threshold(),
+          config_.refinery);
+      result.refined = std::move(refined.refined);
+      result.refinement = refined.report;
+
+      // Ring backpressure telemetry (reporting only, like shards/merge_us).
+      std::uint64_t ring_full_total = 0;
+      for (std::uint64_t c : ring_full) ring_full_total += c;
+      result.epoch.ring_full_spins = ring_full_total;
+      result.epoch.shard_ring_full_spins = std::move(ring_full);
+      result.epoch.drain_spin_yields = drain_yields;
     } catch (...) {
       error = std::current_exception();
     }
@@ -226,6 +320,29 @@ void OverlappedPipeline::epoch_loop() {
       if (error) {
         if (!epoch_error_) epoch_error_ = error;
       } else {
+        if (config_.refinery.enabled) {
+          // Queue this epoch's flagged keys for exact tracking. Derived
+          // from the PRE-refinement final list on purpose: a killed
+          // phantom stays tracked while the sketches keep flagging it, so
+          // it keeps being killed instead of flapping back to unverified.
+          pending_candidates_.clear();
+          pending_candidates_.reserve(result.final.size());
+          for (const Alert& a : result.final) {
+            pending_candidates_.push_back(FlowCandidate{a.key_kind, a.key});
+          }
+          std::sort(pending_candidates_.begin(), pending_candidates_.end(),
+                    [](const FlowCandidate& x, const FlowCandidate& y) {
+                      if (x.kind != y.kind) return x.kind < y.kind;
+                      return x.key < y.key;
+                    });
+          pending_candidates_.erase(
+              std::unique(pending_candidates_.begin(),
+                          pending_candidates_.end(),
+                          [](const FlowCandidate& x, const FlowCandidate& y) {
+                            return x.kind == y.kind && x.key == y.key;
+                          }),
+              pending_candidates_.end());
+        }
         results_.push_back(std::move(result));
       }
       epoch_busy_ = false;

@@ -45,6 +45,28 @@
 // drivers chunk the reversal sweep so a burst spreads across that pool's
 // idle slots.
 //
+// Overload control (the DoS-resilience story for the monitor ITSELF):
+//
+//   - A LoadShedder sits in front of the recorder on the ingest thread.
+//     Every recordable op passes its admit test BEFORE touching a ring;
+//     under pressure (recording budget exceeded, or optionally ring
+//     occupancy past the high watermark) ops are hash-sampled at 2^-k
+//     rates and admitted ops carry inline 2^k weights, so sketch counters
+//     stay unbiased and shard merges stay bit-exact. Per-interval shedding
+//     coverage is sealed into the interval's CoverageReport
+//     (sample_coverage et al.), composing with — never double-applying —
+//     the collector's 1/coverage bank rescale.
+//   - An ActiveFlowTable tracks EXACT per-flow counters for the keys the
+//     previous epoch flagged, fed pre-shed on the ingest thread; the epoch
+//     thread refines each interval's final alerts against the sealed
+//     evidence (IntervalResult::refined / RefinementReport), confirming
+//     real attacks and killing collision phantoms with per-flow proof.
+//   - Ring backpressure telemetry (per-shard full-ring episodes, drain
+//     yields) rides each interval's EpochReport, and
+//     inject_epoch_stall_us gives tests/benches a deterministic
+//     slow-consumer fault to provoke all of the above
+//     (detect/overload_injector.hpp drives the scenarios).
+//
 // Determinism: every stage of the epoch is bit-exact and each generation is
 // kept semantically identical to one serially reused bank — shared mode via
 // history sync + exact seal, sharded mode because the shard sum plus the
@@ -70,7 +92,9 @@
 #include <thread>
 #include <vector>
 
+#include "detect/flow_refinery.hpp"
 #include "detect/hifind.hpp"
+#include "detect/load_shedder.hpp"
 #include "detect/parallel_recorder.hpp"
 #include "detect/sketch_bank.hpp"
 
@@ -96,6 +120,17 @@ struct OverlappedPipelineConfig {
   /// piece separately.
   unsigned record_threads{2};
   std::size_t ring_capacity{ParallelRecorder::kDefaultRingCapacity};
+  /// Overload shedding in front of the recorder; default-disabled (every
+  /// op admitted at weight 1).
+  LoadShedderConfig shed{};
+  /// Exact-flow alert refinement; enabled by default but inert until the
+  /// detector flags its first candidate keys.
+  FlowRefineryConfig refinery{};
+  /// Fault injection for tests/benches: the epoch thread sleeps this long
+  /// at the start of EVERY epoch — a deterministic slow-consumer stand-in
+  /// that provokes close_stall_us and, with occupancy shedding on, shed/
+  /// restore cycles. 0 (the default) injects nothing.
+  std::uint64_t inject_epoch_stall_us{0};
 };
 
 class OverlappedPipeline {
@@ -139,6 +174,12 @@ class OverlappedPipeline {
   /// Shard replicas per generation (0 in shared-bank mode).
   std::size_t num_shards() const { return shards_active_.size(); }
 
+  /// Current shed level (rate 2^-level); 0 when not shedding. Ingest-thread
+  /// view, between offers.
+  std::uint32_t shed_level() const { return shedder_.level(); }
+  /// Keys currently tracked for exact-flow refinement.
+  std::size_t flow_table_size() const { return flow_table_.size(); }
+
  private:
   void epoch_loop();
   /// Pre: caller holds mu_. Rethrows and clears a stored epoch exception.
@@ -146,6 +187,12 @@ class OverlappedPipeline {
 
   OverlappedPipelineConfig config_;
   HifindDetector detector_;  ///< epoch-thread only, after construction
+
+  // --- Overload layer (ingest-thread state) ------------------------------
+  LoadShedder shedder_;
+  ActiveFlowTable flow_table_;
+  std::uint64_t occupancy_probe_{0};  ///< decimates the ring-pressure probe
+  std::uint64_t last_drain_yields_{0};  ///< per-interval delta baseline
 
   // --- Shared-bank mode state (null/empty in sharded mode) ---------------
   std::unique_ptr<SketchBank> bank_a_;
@@ -179,6 +226,16 @@ class OverlappedPipeline {
   std::vector<SketchBank*> epoch_shards_;  ///< sharded mode epoch input
   std::vector<std::uint64_t> epoch_shard_ops_;  ///< occupancy telemetry
   std::uint64_t epoch_interval_{0};
+  // Overload inputs sealed alongside each epoch's bank: the interval's shed
+  // outcome, exact-flow evidence, and ring backpressure deltas.
+  ShedReport epoch_shed_;
+  FlowEvidence epoch_evidence_;
+  std::vector<std::uint64_t> epoch_ring_full_;
+  std::uint64_t epoch_drain_yields_{0};
+  /// Epoch -> ingest: keys the last epoch's final alerts flagged, picked up
+  /// (under the same wait that already serializes close against the epoch)
+  /// and installed into the flow table at the next close.
+  std::vector<FlowCandidate> pending_candidates_;
   std::vector<IntervalResult> results_;
   std::exception_ptr epoch_error_;
   std::thread epoch_thread_;

@@ -1,0 +1,118 @@
+#include "detect/overload_injector.hpp"
+
+#include "common/rng.hpp"
+
+namespace hifind {
+namespace {
+
+PacketRecord syn(Timestamp ts, IPv4 sip, IPv4 dip, std::uint16_t dport,
+                 std::uint16_t sport) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = sip;
+  p.dip = dip;
+  p.sport = sport;
+  p.dport = dport;
+  p.flags = kSyn;
+  return p;
+}
+
+PacketRecord synack(Timestamp ts, IPv4 server, std::uint16_t service_port,
+                    IPv4 client, std::uint16_t client_port) {
+  PacketRecord p;
+  p.ts = ts;
+  p.sip = server;
+  p.dip = client;
+  p.sport = service_port;
+  p.dport = client_port;
+  p.flags = kSyn | kAck;
+  p.outbound = true;
+  return p;
+}
+
+}  // namespace
+
+const char* overload_scenario_name(OverloadScenarioConfig::Kind kind) {
+  switch (kind) {
+    case OverloadScenarioConfig::Kind::kBurstBeyondRings:
+      return "burst-beyond-rings";
+    case OverloadScenarioConfig::Kind::kSlowConsumerEpochs:
+      return "slow-consumer-epochs";
+    case OverloadScenarioConfig::Kind::kShedRestoreCycles:
+      return "shed-restore-cycles";
+  }
+  return "unknown";
+}
+
+OverloadInjector::OverloadInjector(const OverloadScenarioConfig& config)
+    : config_(config) {}
+
+std::uint64_t OverloadInjector::attack_syns_for_interval(
+    std::uint64_t i) const {
+  const auto burst = static_cast<std::uint64_t>(
+      config_.burst_ring_factor *
+      static_cast<double>(config_.ring_capacity));
+  switch (config_.kind) {
+    case OverloadScenarioConfig::Kind::kBurstBeyondRings:
+      // Interval 0 is benign-only so forecasters have a baseline to flag
+      // the burst against; every later interval is the sustained attack.
+      return i == 0 ? 0 : burst;
+    case OverloadScenarioConfig::Kind::kSlowConsumerEpochs:
+      // Moderate steady load: the fault here is the slow EPOCH (injected
+      // via the pipeline config), not the traffic volume.
+      return static_cast<std::uint64_t>(config_.ring_capacity) / 2;
+    case OverloadScenarioConfig::Kind::kShedRestoreCycles:
+      // heavy,heavy,quiet,quiet,... after a benign warm-up interval: two
+      // bursts escalate the level, two quiet intervals let the seal-time
+      // hysteresis restore it.
+      if (i == 0) return 0;
+      return ((i - 1) % 4) < 2 ? burst : 0;
+  }
+  return 0;
+}
+
+OverloadRun OverloadInjector::run(OverlappedPipeline& pipe) {
+  OverloadRun out;
+  out.intervals.reserve(config_.intervals);
+  Pcg32 rng(config_.seed, 0x1e57 + static_cast<std::uint64_t>(config_.kind));
+  const IPv4 service(192, 168, 7, 7);
+  for (std::uint64_t i = 0; i < config_.intervals; ++i) {
+    const auto ts = static_cast<Timestamp>(i);
+    for (int h = 0; h < config_.benign_handshakes; ++h) {
+      const IPv4 client(10, 0, static_cast<std::uint8_t>(h >> 8),
+                        static_cast<std::uint8_t>(h & 0xFF));
+      const auto sport = static_cast<std::uint16_t>(30000 + (h % 20000));
+      pipe.offer(syn(ts, client, service, 443, sport));
+      pipe.offer(synack(ts, service, 443, client, sport));
+      // The flood victim runs a LIVE service (some handshakes complete), so
+      // phase 3's dead-service heuristic keeps its flood alert — the
+      // scenario tests overload handling, not misconfiguration filtering.
+      if (h < config_.benign_handshakes / 4) {
+        pipe.offer(syn(ts, client, config_.victim, config_.victim_port,
+                       sport));
+        pipe.offer(synack(ts, config_.victim, config_.victim_port, client,
+                          sport));
+      }
+    }
+    const std::uint64_t attack = attack_syns_for_interval(i);
+    for (std::uint64_t a = 0; a < attack; ++a) {
+      pipe.offer(syn(ts, IPv4{rng.next()}, config_.victim,
+                     config_.victim_port,
+                     static_cast<std::uint16_t>(1024 + (a % 60000))));
+    }
+    const std::uint64_t stall_before = pipe.close_stall_us();
+    pipe.close_interval();
+    OverloadIntervalStats stats;
+    stats.interval = i;
+    stats.attack_syns = attack;
+    stats.close_stall_us = pipe.close_stall_us() - stall_before;
+    stats.shed_level_after = pipe.shed_level();
+    out.intervals.push_back(stats);
+  }
+  pipe.wait_epoch_idle();
+  out.results = pipe.take_results();
+  out.total_close_stall_us = pipe.close_stall_us();
+  return out;
+}
+
+}  // namespace hifind

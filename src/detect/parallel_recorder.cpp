@@ -26,6 +26,29 @@ inline void backoff(unsigned& spins) {
   }
 }
 
+/// Producer-side backoff while a ring is FULL. Unlike the idle-poll
+/// backoff above, this one must bound the producer's burn when a consumer
+/// is wedged or descheduled for a long time (the drain() escalation's
+/// producer twin): pause-spins for the common about-to-drain window, yields
+/// for oversubscription, then 50 us sleeps — a stalled publish costs
+/// (bounded) latency, never a spinning core.
+inline void publish_backoff(unsigned& spins) {
+  constexpr unsigned kPauseBudget = 16;
+  constexpr unsigned kYieldBudget = 1024;
+  if (spins < kPauseBudget) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  } else if (spins < kPauseBudget + kYieldBudget) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  ++spins;
+}
+
 }  // namespace
 
 ParallelRecorder::ParallelRecorder(SketchBank& bank, unsigned num_threads,
@@ -47,6 +70,8 @@ ParallelRecorder::ParallelRecorder(SketchBank& bank, unsigned num_threads,
     w->thread = std::thread([this, worker = w.get()] { run_worker(*worker); });
   }
   pending_.reserve(kProducerBatch);
+  ring_full_.assign(workers_.size(), 0);
+  ring_full_snapshot_.assign(workers_.size(), 0);
 }
 
 ParallelRecorder::~ParallelRecorder() {
@@ -62,20 +87,24 @@ ParallelRecorder::~ParallelRecorder() {
 void ParallelRecorder::offer(const PacketRecord& p, double weight) {
   RecordOp op;
   if (!make_record_op(p, weight, op)) return;  // shared extraction, done once
+  offer_op(op);
+}
+
+void ParallelRecorder::offer_op(const RecordOp& op) {
   pending_.push_back(op);
   if (pending_.size() >= kProducerBatch) flush_pending();
 }
 
 void ParallelRecorder::flush_pending() {
   if (pending_.empty()) return;
-  for (auto& w : workers_) {
-    publish(*w, pending_.data(), pending_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    publish(*workers_[i], i, pending_.data(), pending_.size());
   }
   pending_.clear();
 }
 
-void ParallelRecorder::publish(Worker& w, const RecordOp* ops,
-                               std::size_t n) {
+void ParallelRecorder::publish(Worker& w, std::size_t idx,
+                               const RecordOp* ops, std::size_t n) {
   const std::size_t mask = capacity_ - 1;
   std::size_t tail = w.tail.load(std::memory_order_relaxed);  // we own tail
   std::size_t pushed = 0;
@@ -84,7 +113,8 @@ void ParallelRecorder::publish(Worker& w, const RecordOp* ops,
     const std::size_t head = w.head.load(std::memory_order_acquire);
     const std::size_t space = capacity_ - (tail - head);
     if (space == 0) {
-      backoff(spins);
+      if (spins == 0) ++ring_full_[idx];  // one count per full-ring episode
+      publish_backoff(spins);
       continue;
     }
     spins = 0;
@@ -135,6 +165,31 @@ void ParallelRecorder::rebind(SketchBank& bank) {
   bank_.store(&bank, std::memory_order_relaxed);
 }
 
+std::uint64_t ParallelRecorder::ring_full_spins() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : ring_full_) total += c;
+  return total;
+}
+
+std::vector<std::uint64_t> ParallelRecorder::take_ring_full_spins() {
+  std::vector<std::uint64_t> out(ring_full_.size());
+  for (std::size_t i = 0; i < ring_full_.size(); ++i) {
+    out[i] = ring_full_[i] - ring_full_snapshot_[i];
+    ring_full_snapshot_[i] = ring_full_[i];
+  }
+  return out;
+}
+
+double ParallelRecorder::producer_backlog() const {
+  std::size_t worst = 0;
+  for (const auto& w : workers_) {
+    const std::size_t tail = w->tail.load(std::memory_order_relaxed);
+    const std::size_t head = w->head.load(std::memory_order_acquire);
+    worst = std::max(worst, tail - head);
+  }
+  return static_cast<double>(worst) / static_cast<double>(capacity_);
+}
+
 // ---------------------------------------------------------------------------
 // ShardedRecorder
 
@@ -152,6 +207,8 @@ ShardedRecorder::ShardedRecorder(std::span<SketchBank* const> shards,
     shards_.push_back(std::move(shard));
   }
   shard_ops_snapshot_.assign(shards_.size(), 0);
+  ring_full_.assign(shards_.size(), 0);
+  ring_full_snapshot_.assign(shards_.size(), 0);
   for (auto& s : shards_) {
     s->thread = std::thread([this, shard = s.get()] { run_worker(*shard); });
   }
@@ -171,6 +228,10 @@ ShardedRecorder::~ShardedRecorder() {
 void ShardedRecorder::offer(const PacketRecord& p, double weight) {
   RecordOp op;
   if (!make_record_op(p, weight, op)) return;  // shared extraction, done once
+  offer_op(op);
+}
+
+void ShardedRecorder::offer_op(const RecordOp& op) {
   pending_.push_back(op);
   if (pending_.size() >= kProducerBatch) flush_pending();
 }
@@ -182,12 +243,14 @@ void ShardedRecorder::flush_pending() {
   // and batch granularity keeps the consumer on the prefetched
   // record_ops path. The deal-out is a pure function of the offer/drain
   // sequence, so shard contents are reproducible run to run.
-  publish(*shards_[next_shard_], pending_.data(), pending_.size());
+  publish(*shards_[next_shard_], next_shard_, pending_.data(),
+          pending_.size());
   next_shard_ = (next_shard_ + 1) % shards_.size();
   pending_.clear();
 }
 
-void ShardedRecorder::publish(Shard& s, const RecordOp* ops, std::size_t n) {
+void ShardedRecorder::publish(Shard& s, std::size_t idx, const RecordOp* ops,
+                              std::size_t n) {
   const std::size_t mask = capacity_ - 1;
   std::size_t tail = s.tail.load(std::memory_order_relaxed);  // we own tail
   std::size_t pushed = 0;
@@ -196,7 +259,8 @@ void ShardedRecorder::publish(Shard& s, const RecordOp* ops, std::size_t n) {
     const std::size_t head = s.head.load(std::memory_order_acquire);
     const std::size_t space = capacity_ - (tail - head);
     if (space == 0) {
-      backoff(spins);
+      if (spins == 0) ++ring_full_[idx];  // one count per full-ring episode
+      publish_backoff(spins);
       continue;
     }
     spins = 0;
@@ -248,6 +312,31 @@ void ShardedRecorder::rebind(std::span<SketchBank* const> shards) {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shards_[i]->bank.store(shards[i], std::memory_order_relaxed);
   }
+}
+
+std::uint64_t ShardedRecorder::ring_full_spins() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : ring_full_) total += c;
+  return total;
+}
+
+std::vector<std::uint64_t> ShardedRecorder::take_ring_full_spins() {
+  std::vector<std::uint64_t> out(ring_full_.size());
+  for (std::size_t i = 0; i < ring_full_.size(); ++i) {
+    out[i] = ring_full_[i] - ring_full_snapshot_[i];
+    ring_full_snapshot_[i] = ring_full_[i];
+  }
+  return out;
+}
+
+double ShardedRecorder::producer_backlog() const {
+  std::size_t worst = 0;
+  for (const auto& s : shards_) {
+    const std::size_t tail = s->tail.load(std::memory_order_relaxed);
+    const std::size_t head = s->head.load(std::memory_order_acquire);
+    worst = std::max(worst, tail - head);
+  }
+  return static_cast<double>(worst) / static_cast<double>(capacity_);
 }
 
 std::vector<std::uint64_t> ShardedRecorder::take_shard_ops() {

@@ -61,6 +61,12 @@ class ParallelRecorder {
   /// sampling weight, as in SketchBank::record().
   void offer(const PacketRecord& p, double weight = 1.0);
 
+  /// Enqueues an already-extracted op (the offer() fast path after
+  /// make_record_op). Lets callers that must see the op BEFORE recording —
+  /// the load shedder's admit test, the active-flow table — classify once
+  /// and still use the batched ring path.
+  void offer_op(const RecordOp& op);
+
   /// Blocks until every offered packet has been applied to every group.
   ///
   /// Waiting escalates: a short pause-spin burst (the common case — workers
@@ -85,6 +91,22 @@ class ParallelRecorder {
   std::uint64_t drain_spin_yields() const {
     return drain_spin_yields_.load(std::memory_order_relaxed);
   }
+
+  /// Times publish() found a worker's ring FULL and had to back off (one
+  /// count per full-ring episode, lifetime). The producer-side twin of
+  /// drain_spin_yields(): nonzero means ingest stalled on a consumer.
+  /// Producer thread only.
+  std::uint64_t ring_full_spins() const;
+
+  /// Per-worker ring-full episode counts since the last call (producer
+  /// thread only; same delta discipline as ShardedRecorder::take_shard_ops).
+  std::vector<std::uint64_t> take_ring_full_spins();
+
+  /// Occupancy fraction of the FULLEST ring right now, in [0, 1] — the
+  /// producer's cheap overload probe (relaxed tail + acquire head; a
+  /// slightly stale answer is fine for a pressure signal). Producer thread
+  /// only.
+  double producer_backlog() const;
 
   unsigned num_threads() const {
     return static_cast<unsigned>(workers_.size());
@@ -122,10 +144,13 @@ class ParallelRecorder {
   };
 
   void run_worker(Worker& w);
-  /// Copies `n` ops into `w`'s ring, spinning (then yielding) on
-  /// backpressure. Publishes the whole span with one release store when the
-  /// ring has room, or in as many chunks as backpressure dictates.
-  void publish(Worker& w, const RecordOp* ops, std::size_t n);
+  /// Copies `n` ops into worker `idx`'s ring. Publishes the whole span with
+  /// one release store when the ring has room, or in as many chunks as
+  /// backpressure dictates; a FULL ring escalates pause -> yield -> sleep
+  /// (see publish_backoff) and bumps ring_full_[idx], so a wedged consumer
+  /// costs a counter and a sleeping producer, never a spinning core.
+  void publish(Worker& w, std::size_t idx, const RecordOp* ops,
+               std::size_t n);
   void flush_pending();
 
   /// Current target bank. Plain-relaxed atomics suffice: rebind() stores it
@@ -136,6 +161,10 @@ class ParallelRecorder {
   std::size_t capacity_;  ///< ring capacity, power of two
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<RecordOp> pending_;  ///< producer-side op batch
+  /// Per-worker full-ring episode counts + take_ring_full_spins() baseline.
+  /// Producer-thread plain state — never touched by workers.
+  std::vector<std::uint64_t> ring_full_;
+  std::vector<std::uint64_t> ring_full_snapshot_;
   /// Shared stat the producer bumps while a worker polls its cursors: give
   /// it its own line so accounting never dirties a ring line.
   alignas(64) std::atomic<std::uint64_t> drain_spin_yields_{0};
@@ -192,6 +221,9 @@ class ShardedRecorder {
   /// Enqueues one packet; it will be recorded into exactly one shard.
   void offer(const PacketRecord& p, double weight = 1.0);
 
+  /// Enqueues an already-extracted op (see ParallelRecorder::offer_op).
+  void offer_op(const RecordOp& op);
+
   /// Blocks until every offered packet has been applied to its shard (same
   /// escalation as ParallelRecorder::drain()).
   void drain();
@@ -213,6 +245,18 @@ class ShardedRecorder {
   std::uint64_t drain_spin_yields() const {
     return drain_spin_yields_.load(std::memory_order_relaxed);
   }
+
+  /// Lifetime full-ring episode count, all shards (see ParallelRecorder).
+  /// Producer thread only.
+  std::uint64_t ring_full_spins() const;
+
+  /// Per-shard full-ring episode counts since the last call (producer
+  /// thread only) — the EpochReport per-shard backpressure telemetry.
+  std::vector<std::uint64_t> take_ring_full_spins();
+
+  /// Occupancy fraction of the fullest shard ring, in [0, 1] (see
+  /// ParallelRecorder::producer_backlog). Producer thread only.
+  double producer_backlog() const;
 
   unsigned num_shards() const {
     return static_cast<unsigned>(shards_.size());
@@ -244,7 +288,10 @@ class ShardedRecorder {
   };
 
   void run_worker(Shard& s);
-  void publish(Shard& s, const RecordOp* ops, std::size_t n);
+  /// See ParallelRecorder::publish — same escalation and counting, against
+  /// shard `idx`'s ring.
+  void publish(Shard& s, std::size_t idx, const RecordOp* ops,
+               std::size_t n);
   void flush_pending();
 
   std::size_t capacity_;  ///< ring capacity, power of two
@@ -252,6 +299,10 @@ class ShardedRecorder {
   std::vector<RecordOp> pending_;  ///< producer-side op batch
   std::size_t next_shard_{0};      ///< round-robin batch deal-out cursor
   std::vector<std::uint64_t> shard_ops_snapshot_;  ///< take_shard_ops base
+  /// Per-shard full-ring episode counts + take baseline (producer-thread
+  /// plain state, like pending_).
+  std::vector<std::uint64_t> ring_full_;
+  std::vector<std::uint64_t> ring_full_snapshot_;
   alignas(64) std::atomic<std::uint64_t> drain_spin_yields_{0};
   static constexpr std::size_t kProducerBatch = 256;
 };

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "../testing/synthetic.hpp"
+#include "common/hash.hpp"
+#include "detect/load_shedder.hpp"
 #include "detect/sketch_wire.hpp"
 #include "router/collector.hpp"
 #include "router/distributed.hpp"
@@ -65,8 +67,10 @@ CollectorConfig coll_cfg() {
 }
 
 /// One interval of traffic: benign handshakes always; from interval 2 on, a
-/// spoofed SYN flood and a horizontal scan. Deterministic given `rng`.
-void feed_interval(DistributedMonitor& mon, std::uint64_t iv, Pcg32& rng) {
+/// spoofed SYN flood and a horizontal scan. Deterministic given `rng`. The
+/// sink only needs feed() — a DistributedMonitor or the shedded fleet below.
+template <class Mon>
+void feed_interval(Mon& mon, std::uint64_t iv, Pcg32& rng) {
   for (int i = 0; i < 80; ++i) {
     const IPv4 client{0x0a000000u + static_cast<std::uint32_t>(i)};
     const auto sport = static_cast<std::uint16_t>(30000 + i);
@@ -278,6 +282,149 @@ TEST(FaultInjectionTest, CorruptFramesNeverReachTheCombinedBank) {
   EXPECT_GT(coll.stats().frames_corrupt, 10u);
   EXPECT_GE(intervals_checked, kCompare);
   EXPECT_GT(banks_checked, kRouters * kCompare / 2);
+}
+
+/// Routers with a LOCAL load shedder in front of each bank: admitted ops are
+/// recorded with the inline 2^k compensation weight, exactly like the
+/// overlapped pipeline's ingest path. The flow-coherent hash split is the
+/// same for every fleet instance, so a shedded run and an unshedded run
+/// route each packet to the same router.
+struct SheddedRouterFleet {
+  std::vector<SketchBank> banks;
+  std::vector<LoadShedder> shedders;
+
+  explicit SheddedRouterFleet(const LoadShedderConfig& shed_cfg) {
+    banks.reserve(kRouters);
+    shedders.reserve(kRouters);
+    for (std::size_t r = 0; r < kRouters; ++r) {
+      banks.emplace_back(bank_cfg());
+      shedders.emplace_back(shed_cfg);
+    }
+  }
+
+  void feed(const PacketRecord& p) {
+    RecordOp op{};
+    if (!make_record_op(p, 1.0, op)) return;
+    const std::size_t r = mix64(op.k_sip_dip ^ 0xf1ee7) % kRouters;
+    const double w = shedders[r].admit(op);
+    if (w != 0.0) banks[r].record(p, w);
+  }
+
+  /// Seals every router's interval; returns the fleet-wide sampled fraction.
+  double seal_interval() {
+    std::uint64_t offered = 0, admitted = 0;
+    for (LoadShedder& s : shedders) {
+      const ShedReport r = s.seal_interval();
+      offered += r.ops_offered;
+      admitted += r.ops_admitted;
+    }
+    return offered == 0 ? 1.0
+                        : static_cast<double>(admitted) /
+                              static_cast<double>(offered);
+  }
+};
+
+TEST(FaultInjectionTest, OutagePlusLocalSheddingComposesCoverageOnce) {
+  // A channel outage (collector rescales the partial sum by 1/fraction) and
+  // local load shedding (compensation is INLINE in the recorded weights)
+  // land in the same intervals. The two mechanisms must compose: the
+  // collector rescale covers only the missing router, never the shed
+  // fraction — a double-rescale would inflate attack magnitudes ~2x at the
+  // 1/2 shed rate used here.
+  const LoadShedderConfig no_shed{};  // disabled: budget 0, level 0
+  LoadShedderConfig half_shed;
+  half_shed.initial_level = 1;               // pinned 2^-1 sampling
+  half_shed.restore_levels_per_interval = 0; // hold the level across seals
+
+  // Surge heuristic off (for BOTH runs): it compares two forecast errors
+  // that both decay as the forecaster adapts to the steady flood, so by
+  // mid-run it sits on a knife edge where benign sampling noise flips it.
+  // This test pins coverage composition, not phase-3 margins.
+  HifindDetectorConfig det = det_cfg();
+  det.min_syn_surge_fraction = 0.0;
+
+  auto run = [&](const LoadShedderConfig& shed_cfg, FaultyChannel& chan,
+                 std::vector<double>* coverage_by_interval) {
+    SheddedRouterFleet fleet(shed_cfg);
+    Pcg32 traffic_rng(1234);
+    ResilientAggregator agg(coll_cfg(), bank_cfg(), det,
+                            [&](std::size_t r, std::uint64_t iv) {
+                              return chan.fetch(r, iv);
+                            });
+    std::map<std::uint64_t, IntervalResult> out;
+    for (std::uint64_t iv = 0; iv < kFeed; ++iv) {
+      feed_interval(fleet, iv, traffic_rng);
+      for (std::size_t r = 0; r < kRouters; ++r) {
+        chan.ship(r, iv, serialize_frame(fleet.banks[r],
+                                         static_cast<std::uint32_t>(r), iv));
+        fleet.banks[r].clear();
+      }
+      if (coverage_by_interval) {
+        coverage_by_interval->push_back(fleet.seal_interval());
+      } else {
+        fleet.seal_interval();
+      }
+      chan.advance_to(iv);
+      for (auto& res : agg.end_interval(iv)) {
+        out.emplace(res.interval, std::move(res));
+      }
+    }
+    return out;
+  };
+
+  FaultyChannel clean(kRouters, /*seed=*/11);
+  const auto ref = run(no_shed, clean, nullptr);
+
+  FaultyChannel faulty(kRouters, /*seed=*/11);
+  faulty.set_outage(7, 4, 5);
+  std::vector<double> shed_coverage;
+  const auto got = run(half_shed, faulty, &shed_coverage);
+
+  std::size_t alerts_compared = 0;
+  for (std::uint64_t iv = 0; iv < kCompare; ++iv) {
+    ASSERT_TRUE(ref.count(iv) && got.count(iv)) << "interval " << iv;
+    const IntervalResult& r = ref.at(iv);
+    IntervalResult g = got.at(iv);
+
+    // Local shedding is invisible to the channel-coverage accounting; only
+    // the outage degrades it. The two compose multiplicatively once the
+    // router's shed coverage is stamped in.
+    const bool outage = iv == 4 || iv == 5;
+    EXPECT_EQ(g.coverage.degraded, outage) << "interval " << iv;
+    EXPECT_DOUBLE_EQ(g.coverage.fraction, outage ? 7.0 / 8.0 : 1.0);
+    ASSERT_LT(iv, shed_coverage.size());
+    EXPECT_NEAR(shed_coverage[iv], 0.5, 0.1) << "interval " << iv;
+    g.coverage.sample_coverage = shed_coverage[iv];
+    EXPECT_DOUBLE_EQ(g.coverage.effective_coverage(),
+                     g.coverage.fraction * shed_coverage[iv]);
+
+    // Every victim with real margin above the detection threshold survives.
+    // (As the forecaster adapts to the steady attacks, alert magnitudes
+    // decay toward the threshold; an alert within a few percent of it is
+    // legitimately flippable by ANY unbiased estimator's noise, so only
+    // alerts with >= 25% headroom are required to reproduce.)
+    const double margin_floor = 1.25 * det.interval_threshold();
+    const auto have = alert_keys(g);
+    for (const Alert& ra : r.final) {
+      if (ra.magnitude < margin_floor) continue;
+      ASSERT_TRUE(have.count({ra.type, ra.key}))
+          << "interval " << iv << ": lost " << attack_type_name(ra.type)
+          << " victim under shed + outage";
+    }
+    for (const Alert& ra : r.final) {
+      for (const Alert& ga : g.final) {
+        if (ga.type != ra.type || ga.key != ra.key) continue;
+        const double ratio = ga.magnitude / ra.magnitude;
+        EXPECT_GT(ratio, 0.6) << "interval " << iv << " "
+                              << attack_type_name(ra.type);
+        EXPECT_LT(ratio, 1.6)
+            << "interval " << iv << " " << attack_type_name(ra.type)
+            << ": magnitude inflated — coverage rescaled twice?";
+        ++alerts_compared;
+      }
+    }
+  }
+  EXPECT_GE(alerts_compared, 2u) << "magnitude check never ran";
 }
 
 }  // namespace
