@@ -1,0 +1,54 @@
+"""Shared plumbing for the bench runner scripts.
+
+Build-type gating: committed BENCH_*.json numbers are meaningless from a
+Debug or unspecified build (asserts, -O0, iterator debugging), so every
+runner refuses to run against a non-Release build tree unless the caller
+explicitly opts in — and opted-in results are loudly marked non-gating so
+CI and reviewers cannot mistake them for real numbers.
+"""
+
+import os
+import sys
+
+RELEASE_BUILD_TYPES = {"Release", "RelWithDebInfo", "MinSizeRel"}
+
+
+def cmake_build_type(build_dir: str):
+    """Reads CMAKE_BUILD_TYPE out of the build tree's CMakeCache.txt (the
+    ground truth for how the binaries in it were compiled)."""
+    path = os.path.join(build_dir, "CMakeCache.txt")
+    try:
+        with open(path) as f:
+            for line in f:
+                if line.startswith("CMAKE_BUILD_TYPE:"):
+                    return line.split("=", 1)[1].strip() or None
+    except OSError:
+        return None
+    return None
+
+
+def check_release_build(build_dir: str, allow_non_release: bool):
+    """Returns (build_type, gating). Exits with an error unless the build is
+    a Release-family build or the caller passed --allow-non-release (in
+    which case gating is False and the caller must mark its output)."""
+    build_type = cmake_build_type(build_dir)
+    if build_type in RELEASE_BUILD_TYPES:
+        return build_type, True
+    if allow_non_release:
+        print(
+            f"warning: benchmarking a non-Release build "
+            f"(CMAKE_BUILD_TYPE={build_type!r}); results will be marked "
+            'non-gating ("gating": false) and must not be committed as '
+            "BENCH_*.json",
+            file=sys.stderr,
+        )
+        return build_type, False
+    print(
+        f"error: refusing to benchmark a non-Release build tree "
+        f"({build_dir!r} has CMAKE_BUILD_TYPE={build_type!r}).\n"
+        "Configure with -DCMAKE_BUILD_TYPE=Release (or RelWithDebInfo/"
+        "MinSizeRel), or pass --allow-non-release to record loudly-marked "
+        "non-gating numbers.",
+        file=sys.stderr,
+    )
+    sys.exit(1)

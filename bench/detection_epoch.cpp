@@ -18,6 +18,7 @@
 //    already enjoys the vector backend ("legacy_scalar" additionally pins
 //    the scalar backend, approximating the seed build's plain loops).
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -95,7 +96,7 @@ class LegacyEpoch {
   }
 
  private:
-  long infer(const ReversibleSketch& error, const KarySketch& verif_error,
+  long infer(const InvertibleSketch& error, const KarySketch& verif_error,
              double threshold) {
     InferenceOptions options = config_.inference;
     options.verifier = [&verif_error, threshold](std::uint64_t key, double) {
@@ -106,9 +107,9 @@ class LegacyEpoch {
   }
 
   HifindDetectorConfig config_;
-  LegacyEwmaForecaster<ReversibleSketch> f_sip_dport_;
-  LegacyEwmaForecaster<ReversibleSketch> f_dip_dport_;
-  LegacyEwmaForecaster<ReversibleSketch> f_sip_dip_;
+  LegacyEwmaForecaster<InvertibleSketch> f_sip_dport_;
+  LegacyEwmaForecaster<InvertibleSketch> f_dip_dport_;
+  LegacyEwmaForecaster<InvertibleSketch> f_sip_dip_;
   LegacyEwmaForecaster<KarySketch> fv_sip_dport_;
   LegacyEwmaForecaster<KarySketch> fv_dip_dport_;
   LegacyEwmaForecaster<KarySketch> fv_sip_dip_;
@@ -271,6 +272,126 @@ CloseStats run_overlapped(const Scenario& scenario, const PipelineConfig& pc,
   return s;
 }
 
+// ---- Per-backend reversal ablation ---------------------------------------
+//
+// Times REVERSE alone — begin/run_chunk/take_result over the three RS error
+// sketches, verifier included — per interval, on an attack-heavy scenario,
+// once per backend. The accuracy columns come from a separate full-detector
+// run on the same scenario scored against the ground-truth ledger, so the
+// latency numbers are not polluted by forecaster or phase-2/3 work and the
+// recall numbers are end-to-end.
+struct ReversalStats {
+  double p50_ms{0}, p99_ms{0}, mean_ms{0};
+  std::size_t intervals{0};
+  std::size_t keys{0};          ///< heavy keys recovered across the run
+  std::size_t memory_bytes{0};  ///< three invertible sketches, 8B counters
+  std::size_t final_alerts{0};
+  double event_recall{0};
+  double precision{0};
+};
+
+/// NU preset scaled up: many simultaneous floods and scans, i.e. many heavy
+/// buckets per stage — the worst case for the modular-hash DFS sweep (bucket
+/// cross-products) and the stress case the ≥5x reversal gate is measured on.
+ScenarioConfig attack_heavy_config() {
+  ScenarioConfig c = nu_like_config(7, 1800);
+  c.num_spoofed_floods = 10;
+  c.num_fixed_floods = 8;
+  c.num_hscans = 60;
+  c.num_vscans = 16;
+  c.num_block_scans = 2;
+  return c;
+}
+
+ReversalStats run_reversal_ablation(const Scenario& scenario,
+                                    const PipelineConfig& base,
+                                    SketchBackendKind kind) {
+  PipelineConfig pc = base;
+  pc.bank.backend = kind;
+  const HifindDetectorConfig& dc = pc.detector;
+  const double t = dc.interval_threshold();
+
+  ReversalStats out;
+  {
+    const SketchBank probe(pc.bank);
+    out.memory_bytes = probe.rs_sip_dport().memory_bytes() +
+                       probe.rs_dip_dport().memory_bytes() +
+                       probe.rs_sip_dip().memory_bytes();
+  }
+
+  // Pass 1: reversal latency. Copy-based forecasters reproduce the error
+  // sketches outside the timed region; only the three REVERSE runs (with the
+  // same verification screen the detector applies) are on the clock.
+  LegacyEwmaForecaster<InvertibleSketch> f1(dc.ewma_alpha), f2(dc.ewma_alpha),
+      f3(dc.ewma_alpha);
+  LegacyEwmaForecaster<KarySketch> v1(dc.ewma_alpha), v2(dc.ewma_alpha),
+      v3(dc.ewma_alpha);
+  ReverseEngine engine;
+  std::vector<double> times_ms;
+  replay(scenario, pc.bank, dc.interval_seconds,
+         [&](const SketchBank& bank, std::uint64_t) -> std::size_t {
+           auto e1 = f1.step(bank.rs_dip_dport());
+           auto e2 = f2.step(bank.rs_sip_dip());
+           auto e3 = f3.step(bank.rs_sip_dport());
+           auto ev1 = v1.step(bank.verif_dip_dport());
+           auto ev2 = v2.step(bank.verif_sip_dip());
+           auto ev3 = v3.step(bank.verif_sip_dport());
+           if (!e1 || !e2 || !e3) return 0;
+           const std::array<const InvertibleSketch*, 3> errors{&*e1, &*e2,
+                                                               &*e3};
+           const std::array<const KarySketch*, 3> verifs{&*ev1, &*ev2, &*ev3};
+           const auto t0 = std::chrono::steady_clock::now();
+           for (std::size_t i = 0; i < 3; ++i) {
+             InferenceOptions options = dc.inference;
+             options.verifier = [v = verifs[i], t](std::uint64_t key, double) {
+               return v->estimate(key) >= t;
+             };
+             engine.begin(*errors[i], t, options);
+             while (!engine.run_chunk(~std::size_t{0})) {
+             }
+             out.keys += engine.take_result().keys.size();
+           }
+           const auto t1 = std::chrono::steady_clock::now();
+           times_ms.push_back(
+               std::chrono::duration<double, std::milli>(t1 - t0).count());
+           return 0;
+         });
+  out.intervals = times_ms.size();
+  for (const double ms : times_ms) out.mean_ms += ms;
+  if (!times_ms.empty()) {
+    out.mean_ms /= static_cast<double>(times_ms.size());
+    out.p50_ms = percentile(times_ms, 0.50);
+    out.p99_ms = percentile(times_ms, 0.99);
+  }
+
+  // Pass 2: end-to-end accuracy through the full detector on this backend.
+  HifindDetector detector(dc);
+  std::vector<IntervalResult> results;
+  replay(scenario, pc.bank, dc.interval_seconds,
+         [&](const SketchBank& bank, std::uint64_t interval) {
+           results.push_back(detector.process(bank, interval));
+           return results.back().final.size();
+         });
+  for (const IntervalResult& r : results) out.final_alerts += r.final.size();
+  const IntervalClock clock(dc.interval_seconds);
+  const EvaluationSummary ev = evaluate(results, scenario.truth, clock);
+  out.event_recall = ev.event_recall();
+  out.precision = ev.precision();
+  return out;
+}
+
+void emit_reversal(const char* name, const ReversalStats& s,
+                   bool last = false) {
+  std::printf(
+      "    \"%s\": {\"reversal_p50_ms\": %.5f, \"reversal_p99_ms\": %.5f, "
+      "\"reversal_mean_ms\": %.5f, \"intervals\": %zu, \"keys\": %zu, "
+      "\"memory_bytes\": %zu, \"final_alerts\": %zu, \"event_recall\": %.4f, "
+      "\"precision\": %.4f}%s\n",
+      name, s.p50_ms, s.p99_ms, s.mean_ms, s.intervals, s.keys,
+      s.memory_bytes, s.final_alerts, s.event_recall, s.precision,
+      last ? "" : ",");
+}
+
 CloseStats run_legacy(const Scenario& scenario, const PipelineConfig& pc) {
   LegacyEpoch epoch(pc.detector);
   return replay(scenario, pc.bank, pc.detector.interval_seconds,
@@ -339,6 +460,21 @@ int run() {
       overlapped_1r1e.final_alerts == fused_1t.final_alerts &&
       overlapped_2r2e.final_alerts == fused_1t.final_alerts;
 
+  // Reversal ablation: both backends against the attack-heavy scenario.
+  // The ≥5x p99 gate and the recall-parity check live in
+  // run_detection_epoch.py; this bench just reports the measurements.
+  const Scenario attack_scenario = build_scenario(attack_heavy_config());
+  const ReversalStats rev_reference = run_reversal_ablation(
+      attack_scenario, pc, SketchBackendKind::kReversible);
+  const ReversalStats rev_compact =
+      run_reversal_ablation(attack_scenario, pc, SketchBackendKind::kCompact);
+  const double reversal_speedup_p99 =
+      rev_compact.p99_ms > 0.0 ? rev_reference.p99_ms / rev_compact.p99_ms
+                               : 0.0;
+  const double reversal_speedup_p50 =
+      rev_compact.p50_ms > 0.0 ? rev_reference.p50_ms / rev_compact.p50_ms
+                               : 0.0;
+
   // Calibration datum for EpochBudget::work_units_per_ms: streaming-search
   // work units the unbudgeted serial epoch retired per millisecond of close
   // time on this host.
@@ -357,6 +493,13 @@ int run() {
               overlapped_matches_serial ? "true" : "false");
   std::printf("  \"budget_work_rate_units_per_ms\": %.1f,\n", work_rate);
   std::printf("  \"budgeted_deadline_ms\": %.1f,\n", budget.deadline_ms);
+  std::printf("  \"reversal_ablation\": {\n");
+  std::printf("    \"scenario\": \"nu_like_attack_heavy\",\n");
+  std::printf("    \"compact_speedup_p50\": %.2f,\n", reversal_speedup_p50);
+  std::printf("    \"compact_speedup_p99\": %.2f,\n", reversal_speedup_p99);
+  emit_reversal("reversible", rev_reference);
+  emit_reversal("compact", rev_compact, /*last=*/true);
+  std::printf("  },\n");
   std::printf("  \"configs\": {\n");
   emit("legacy_scalar", legacy_scalar);
   emit("legacy", legacy);

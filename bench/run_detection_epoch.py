@@ -27,6 +27,19 @@ acceptance gates care about:
 plus two determinism bits that must both be true: bit-identical alerts at
 every thread count (alerts_match_across_threads) and the overlapped pipeline
 reproducing the serial alert stream (overlapped_alerts_match_serial).
+
+The bench also runs a per-backend reversal-latency ablation on an
+attack-heavy variant of the scenario (reversal_ablation in the JSON):
+REVERSE wall time p50/p99, keys recovered, sketch memory, and the full
+detection run's event recall and precision for the reference reversible
+backend and the compact invertible backend. Two more gates ride on it:
+    reversal_ablation.compact_speedup_p99 >= --reversal-gate (default 5.0):
+        the compact backend's direct candidate extraction must beat the
+        modular-hash reversal sweep at least 5x at p99
+    compact event_recall >= reversible event_recall - --recall-budget:
+        the speedup may not be bought with missed heavy keys
+Refuses to run against a non-Release build tree (see bench_common.py);
+--allow-non-release records loudly-marked non-gating numbers instead.
 """
 
 import argparse
@@ -34,6 +47,9 @@ import json
 import os
 import subprocess
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import check_release_build
 
 
 def cpu_context() -> dict:
@@ -57,7 +73,30 @@ def main() -> int:
         default=5.0,
         help="minimum overlapped-vs-fused close-p99 improvement (default 5.0)",
     )
+    parser.add_argument(
+        "--reversal-gate",
+        type=float,
+        default=5.0,
+        help="minimum compact-vs-reversible reversal-p99 speedup on the "
+        "attack-heavy scenario (default 5.0)",
+    )
+    parser.add_argument(
+        "--recall-budget",
+        type=float,
+        default=0.05,
+        help="largest event-recall drop the compact backend may show vs the "
+        "reference on the attack-heavy scenario (default 0.05)",
+    )
+    parser.add_argument(
+        "--allow-non-release",
+        action="store_true",
+        help="run against a non-Release build anyway; output is marked "
+        'non-gating ("gating": false) and all gates are skipped',
+    )
     args = parser.parse_args()
+
+    build_type, gating = check_release_build(args.build_dir,
+                                             args.allow_non_release)
 
     binary = os.path.join(args.build_dir, "bench", "detection_epoch")
     if not os.path.exists(binary):
@@ -88,12 +127,16 @@ def main() -> int:
         "budgeted_1t_vs_fused_1t": ratio("fused_1t", "budgeted_1t", "p99_ms"),
     }
 
+    reversal = raw.get("reversal_ablation", {})
+
     result = {
         "generated_by": "bench/run_detection_epoch.py",
         "benchmark": "bench/detection_epoch.cpp",
+        "gating": gating,
         "context": {
             **cpu_context(),
             "simd_backend": raw.get("simd_backend"),
+            "build_type": build_type,
         },
         "alerts_match_across_threads": raw.get("alerts_match_across_threads"),
         "overlapped_alerts_match_serial": raw.get(
@@ -119,6 +162,7 @@ def main() -> int:
             "fused_8t_vs_legacy": ratio("legacy", "fused_8t"),
         },
         "speedup_close_p99": speedup_close_p99,
+        "reversal_ablation": reversal,
     }
 
     tmp_out = args.out + ".tmp"
@@ -130,9 +174,16 @@ def main() -> int:
                       "speedup_close_p99": speedup_close_p99}, indent=2))
     print(f"wrote {args.out}")
 
+    if not gating:
+        print("non-Release build: gates skipped, output marked non-gating",
+              file=sys.stderr)
+        return 0
+
     # Acceptance gates. The overlapped close tail must improve at least
-    # --p99-gate x over the fused close on the same scenario, and both
-    # determinism bits must hold.
+    # --p99-gate x over the fused close on the same scenario, both
+    # determinism bits must hold, and the compact backend must beat the
+    # reference reversal by --reversal-gate x at p99 on the attack-heavy
+    # scenario without giving up more than --recall-budget of event recall.
     failures = []
     for key in ("overlapped_1r1e_vs_fused_1t", "overlapped_2r2e_vs_fused_1t"):
         r = speedup_close_p99.get(key)
@@ -142,12 +193,26 @@ def main() -> int:
         failures.append("alerts_match_across_threads is false")
     if not result["overlapped_alerts_match_serial"]:
         failures.append("overlapped_alerts_match_serial is false")
+    rev_speedup = reversal.get("compact_speedup_p99")
+    if rev_speedup is None or rev_speedup < args.reversal_gate:
+        failures.append(
+            f"reversal compact_speedup_p99 = {rev_speedup} "
+            f"(< {args.reversal_gate})")
+    ref_recall = reversal.get("reversible", {}).get("event_recall")
+    compact_recall = reversal.get("compact", {}).get("event_recall")
+    if ref_recall is None or compact_recall is None:
+        failures.append("reversal ablation missing event_recall")
+    elif compact_recall < ref_recall - args.recall_budget:
+        failures.append(
+            f"compact event_recall {compact_recall} below reference "
+            f"{ref_recall} - budget {args.recall_budget}")
     if failures:
         for f_ in failures:
             print(f"GATE FAILED: {f_}", file=sys.stderr)
         return 1
     print(f"gates passed: overlapped close p99 >= {args.p99_gate}x better, "
-          "alerts deterministic")
+          f"alerts deterministic, compact reversal >= {args.reversal_gate}x "
+          f"at p99 with recall within {args.recall_budget}")
     return 0
 
 

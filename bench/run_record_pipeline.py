@@ -15,6 +15,8 @@ acceptance gates care about:
     pipeline_vs_legacy_4t  >= 1.5 expected
     sharded_vs_shared_8t   >= 1.5 expected (on a multi-core host)
     batch_vs_scalar_rs64   >= 1.2 expected
+    batch_vs_scalar_kary   >= 1.0 REQUIRED (gated here): update_batch must
+        never lose to the scalar loop on any sketch shape
 and scaling_efficiency: sharded[N] / (N * sharded[1]) per thread count —
 1.0 is perfect shared-nothing scaling; the shared-bank pipeline cannot
 approach it because every op is copied into every worker's ring.
@@ -35,6 +37,9 @@ import subprocess
 import sys
 import tempfile
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import check_release_build
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -45,7 +50,23 @@ def main() -> int:
         default="1.0",
         help="google-benchmark --benchmark_min_time per case (seconds)",
     )
+    parser.add_argument(
+        "--kary-batch-gate",
+        type=float,
+        default=1.0,
+        help="minimum batch_vs_scalar_kary speedup (default 1.0; CI smoke "
+        "runs pass a small tolerance below parity for noisy runners)",
+    )
+    parser.add_argument(
+        "--allow-non-release",
+        action="store_true",
+        help="run against a non-Release build anyway; output is marked "
+        'non-gating ("gating": false) and all gates are skipped',
+    )
     args = parser.parse_args()
+
+    build_type, gating = check_release_build(args.build_dir,
+                                             args.allow_non_release)
 
     binary = os.path.join(args.build_dir, "bench", "record_pipeline")
     if not os.path.exists(binary):
@@ -96,11 +117,14 @@ def main() -> int:
     result = {
         "generated_by": "bench/run_record_pipeline.py",
         "benchmark": "bench/record_pipeline.cpp",
+        "gating": gating,
         "context": {
             "date": raw["context"]["date"],
             "num_cpus": raw["context"]["num_cpus"],
             "mhz_per_cpu": raw["context"].get("mhz_per_cpu"),
-            "build_type": raw["context"].get("library_build_type"),
+            # The CMake cache, not google-benchmark's library_build_type:
+            # the cache is the ground truth check_release_build gated on.
+            "build_type": build_type,
         },
         "items_per_second": {
             "serial": items.get("BM_SerialRecord"),
@@ -166,6 +190,21 @@ def main() -> int:
     os.replace(tmp_out, args.out)
     print(json.dumps(result["speedup"], indent=2))
     print(f"wrote {args.out}")
+
+    if not gating:
+        print("non-Release build: gates skipped, output marked non-gating",
+              file=sys.stderr)
+        return 0
+
+    # Acceptance gate: batching must never lose to the scalar loop. The k-ary
+    # shape regressed to 0.84x once (prefetch staging on a cache-resident
+    # sketch); this keeps that from coming back silently.
+    kary = result["speedup"]["batch_vs_scalar_kary"]
+    if kary is None or kary < args.kary_batch_gate:
+        print(f"GATE FAILED: batch_vs_scalar_kary = {kary} "
+              f"(< {args.kary_batch_gate})", file=sys.stderr)
+        return 1
+    print(f"gates passed: batch_vs_scalar_kary >= {args.kary_batch_gate}")
     return 0
 
 

@@ -2,12 +2,70 @@
 
 #include <algorithm>
 
+#include "common/hash.hpp"
+
 namespace hifind {
 
+CandidateBloom::CandidateBloom(std::uint64_t seed, std::size_t bits_log2,
+                               std::size_t max_inserts_per_generation)
+    : seed_(seed),
+      mask_((std::size_t{1} << bits_log2) - 1),
+      max_inserts_(max_inserts_per_generation),
+      current_((std::size_t{1} << bits_log2) / 64, 0),
+      previous_((std::size_t{1} << bits_log2) / 64, 0) {}
+
+void CandidateBloom::bit_positions(
+    KeyKind kind, std::uint64_t key,
+    std::array<std::size_t, kNumHashes>& out) const {
+  // Kirsch–Mitzenmacher double hashing; the KeyKind salt keeps the three
+  // key spaces' memberships independent even where raw keys collide.
+  const std::uint64_t salted =
+      key ^ mix64(seed_ + static_cast<std::uint64_t>(kind) + 1);
+  const std::uint64_t h1 = mix64(salted);
+  const std::uint64_t h2 = mix64(salted ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (std::size_t i = 0; i < kNumHashes; ++i) {
+    out[i] = static_cast<std::size_t>(h1 + i * h2) & mask_;
+  }
+}
+
+bool CandidateBloom::test(KeyKind kind, std::uint64_t key) const {
+  std::array<std::size_t, kNumHashes> bits;
+  bit_positions(kind, key, bits);
+  const auto in = [&](const std::vector<std::uint64_t>& gen) {
+    for (const std::size_t b : bits) {
+      if ((gen[b / 64] & (std::uint64_t{1} << (b % 64))) == 0) return false;
+    }
+    return true;
+  };
+  return in(current_) || in(previous_);
+}
+
+void CandidateBloom::insert(KeyKind kind, std::uint64_t key) {
+  if (inserts_this_gen_ >= max_inserts_) return;
+  ++inserts_this_gen_;
+  std::array<std::size_t, kNumHashes> bits;
+  bit_positions(kind, key, bits);
+  for (const std::size_t b : bits) {
+    current_[b / 64] |= std::uint64_t{1} << (b % 64);
+  }
+}
+
+void CandidateBloom::rotate() {
+  std::swap(current_, previous_);
+  std::fill(current_.begin(), current_.end(), 0);
+  inserts_this_gen_ = 0;
+}
+
 ActiveFlowTable::ActiveFlowTable(const FlowRefineryConfig& config)
-    : config_(config) {}
+    : config_(config),
+      bloom_(config.bloom_seed, config.bloom_bits_log2,
+             config.bloom_max_inserts_per_generation) {}
 
 FlowEvidence ActiveFlowTable::seal(std::uint64_t interval) {
+  // One Bloom generation per interval: seal() runs exactly once per close,
+  // BEFORE install(), so candidates flagged at this close land in the fresh
+  // generation and stay visible through the next interval's gate.
+  bloom_.rotate();
   FlowEvidence evidence;
   evidence.interval = interval;
   evidence.entries.reserve(size_);
@@ -49,7 +107,21 @@ FlowEvidence ActiveFlowTable::seal(std::uint64_t interval) {
 void ActiveFlowTable::install(const std::vector<FlowCandidate>& candidates,
                               std::uint64_t interval) {
   if (!config_.enabled || config_.capacity == 0) return;
+  // Candidate-flood gate: an attacker who mass-triggers sketch false flags
+  // would otherwise churn the table through evict_stalest() and wash out
+  // the real flows' evidence. Over the limit, only keys the Bloom filter
+  // remembers from the current/previous interval (repeat offenders) are
+  // admitted; every candidate is still recorded so it qualifies next
+  // interval if the detector keeps flagging it.
+  const bool gated = config_.bloom_gate_min_candidates != 0 &&
+                     candidates.size() > config_.bloom_gate_min_candidates;
   for (const FlowCandidate& c : candidates) {
+    const bool seen = bloom_.test(c.kind, c.key);
+    bloom_.insert(c.kind, c.key);
+    if (gated && !seen) {
+      ++bloom_rejected_;
+      continue;
+    }
     Map& map = maps_[static_cast<std::size_t>(c.kind)];
     auto it = map.find(c.key);
     if (it != map.end()) {

@@ -59,6 +59,24 @@ struct FlowRefineryConfig {
   /// noise. 0.5 leaves headroom for flows straddling interval edges while
   /// still sitting far above what a hash collision accumulates.
   double confirm_fraction{0.5};
+
+  /// Candidate-flood guard (Azzana-style Bloom pre-filter, see
+  /// arXiv:1902.04143's new-flow memory): when a single interval flags MORE
+  /// than this many candidate keys — an attacker driving the sketches into
+  /// mass false flags to churn the exact table — install() admits only keys
+  /// the Bloom filter has already seen in the current or previous interval
+  /// (repeat offenders). Below the limit every candidate installs as
+  /// before, so the guard is invisible in benign operation. 0 disables it.
+  std::size_t bloom_gate_min_candidates{1024};
+  /// log2 of the Bloom bitset size per generation (2^20 bits = 128 KiB).
+  std::size_t bloom_bits_log2{20};
+  /// Hard cap on Bloom inserts per generation: bounds the filter's
+  /// false-positive rate under flood (a saturated filter would wave every
+  /// key through). Inserts past the cap are dropped in candidate order, so
+  /// the filter state stays a pure function of the candidate stream.
+  std::size_t bloom_max_inserts_per_generation{32768};
+  /// Seed of the Bloom hash family (independent of every sketch family).
+  std::uint64_t bloom_seed{0xB100F17Eu};
 };
 
 /// One tracked key's exact evidence for a sealed interval.
@@ -86,6 +104,36 @@ struct FlowEvidence {
 struct FlowCandidate {
   KeyKind kind{KeyKind::DipDport};
   std::uint64_t key{0};
+};
+
+/// Two-generation rotating Bloom filter over flagged candidate keys. A key
+/// tests positive iff it was inserted in the current or the previous
+/// generation; rotate() (called once per interval seal) retires the older
+/// generation, so membership spans a sliding ~2-interval window without any
+/// per-key state. Deterministic by construction: seeded hash family, and a
+/// per-generation insert cap that drops excess inserts in arrival order.
+class CandidateBloom {
+ public:
+  CandidateBloom(std::uint64_t seed, std::size_t bits_log2,
+                 std::size_t max_inserts_per_generation);
+
+  bool test(KeyKind kind, std::uint64_t key) const;
+  /// No-op once the generation's insert cap is reached.
+  void insert(KeyKind kind, std::uint64_t key);
+  /// Ages the current generation into "previous"; drops the old previous.
+  void rotate();
+
+ private:
+  static constexpr std::size_t kNumHashes = 4;
+  void bit_positions(KeyKind kind, std::uint64_t key,
+                     std::array<std::size_t, kNumHashes>& out) const;
+
+  std::uint64_t seed_;
+  std::size_t mask_;
+  std::size_t max_inserts_;
+  std::size_t inserts_this_gen_{0};
+  std::vector<std::uint64_t> current_;
+  std::vector<std::uint64_t> previous_;
 };
 
 /// Bounded exact-counter table over sketch-flagged candidate keys.
@@ -120,6 +168,10 @@ class ActiveFlowTable {
   /// Lifetime count of entries evicted (staleness + overflow).
   std::uint64_t evicted() const { return evicted_; }
 
+  /// Lifetime count of candidates the Bloom pre-filter turned away during
+  /// flood-gated installs (first-sighting keys under candidate flood).
+  std::uint64_t bloom_rejected() const { return bloom_rejected_; }
+
  private:
   struct Entry {
     double syn{0.0};
@@ -143,6 +195,8 @@ class ActiveFlowTable {
   std::array<Map, 3> maps_;  ///< one map per KeyKind
   std::size_t size_{0};
   std::uint64_t evicted_{0};
+  CandidateBloom bloom_;
+  std::uint64_t bloom_rejected_{0};
 };
 
 /// Pure refinement: splits `final_alerts` into confirmed / killed /

@@ -19,9 +19,9 @@ std::unique_ptr<Forecaster<SketchT>> build_forecaster(
 
 HifindDetector::HifindDetector(const HifindDetectorConfig& config)
     : config_(config),
-      f_sip_dport_(build_forecaster<ReversibleSketch>(config, &rs_arena_)),
-      f_dip_dport_(build_forecaster<ReversibleSketch>(config, &rs_arena_)),
-      f_sip_dip_(build_forecaster<ReversibleSketch>(config, &rs_arena_)),
+      f_sip_dport_(build_forecaster<InvertibleSketch>(config, &rs_arena_)),
+      f_dip_dport_(build_forecaster<InvertibleSketch>(config, &rs_arena_)),
+      f_sip_dip_(build_forecaster<InvertibleSketch>(config, &rs_arena_)),
       fv_sip_dport_(build_forecaster<KarySketch>(config, &kary_arena_)),
       fv_dip_dport_(build_forecaster<KarySketch>(config, &kary_arena_)),
       fv_sip_dip_(build_forecaster<KarySketch>(config, &kary_arena_)),
@@ -49,9 +49,9 @@ IntervalResult HifindDetector::process(const SketchBank& bank,
   // Stage A — the 7 forecaster steps are independent tasks; each writes one
   // distinct slot. The RS steps collect their heavy-bucket candidates in the
   // same fused counter pass, so stage B starts with its scan already done.
-  const ReversibleSketch* e_sip_dport = nullptr;
-  const ReversibleSketch* e_dip_dport = nullptr;
-  const ReversibleSketch* e_sip_dip = nullptr;
+  const InvertibleSketch* e_sip_dport = nullptr;
+  const InvertibleSketch* e_dip_dport = nullptr;
+  const InvertibleSketch* e_sip_dip = nullptr;
   const KarySketch* ev_sip_dport = nullptr;
   const KarySketch* ev_dip_dport = nullptr;
   const KarySketch* ev_sip_dip = nullptr;
@@ -99,7 +99,7 @@ IntervalResult HifindDetector::process(const SketchBank& bank,
                          config_.budget.max_heavy_per_stage);
     }
   }
-  auto begin_inference = [&](std::size_t slot, const ReversibleSketch& error,
+  auto begin_inference = [&](std::size_t slot, const InvertibleSketch& error,
                              const KarySketch& verif, StageBuckets& buckets) {
     InferenceOptions o = opts;
     o.verifier = [&verif, t](std::uint64_t key, double /*estimate*/) {
@@ -141,7 +141,7 @@ void HifindDetector::drive_inference(std::size_t slot) {
   // enough that an attack-heavy search yields to waiting tasks every few
   // hundred microseconds. Affects scheduling only, never results.
   constexpr std::size_t kChunkWork = std::size_t{1} << 15;
-  StreamingInference& engine = inference_[slot];
+  ReverseEngine& engine = inference_[slot];
   for (;;) {
     if (engine.run_chunk(kChunkWork)) {
       inference_result_[slot] = engine.take_result();

@@ -26,8 +26,8 @@
 #include "detect/fp_filters.hpp"
 #include "detect/sketch_bank.hpp"
 #include "forecast/forecaster.hpp"
-#include "sketch/reverse_inference.hpp"
 #include "sketch/sketch_arena.hpp"
+#include "sketch/sketch_backend.hpp"
 
 namespace hifind {
 
@@ -162,7 +162,7 @@ class HifindDetector {
   /// Storage pools for forecaster state (declared before the forecasters,
   /// which hold pointers into them). Warm-up/reset cycles reuse counter
   /// arrays instead of cloning sketches.
-  SketchArena<ReversibleSketch> rs_arena_;
+  SketchArena<InvertibleSketch> rs_arena_;
   SketchArena<KarySketch> kary_arena_;
   /// Epoch task pool, created on first process() (tests that never process
   /// an interval spawn no threads).
@@ -173,19 +173,20 @@ class HifindDetector {
   StageBuckets hb_sip_dport_;
   StageBuckets hb_dip_dport_;
   StageBuckets hb_sip_dip_;
-  /// Stage-B streaming inference engines and their per-interval results
-  /// (slot order: dip_dport, sip_dip, sip_dport). Long-lived so the DFS
-  /// workspaces reach an allocation-free steady state.
-  std::array<StreamingInference, 3> inference_;
+  /// Stage-B reversal engines and their per-interval results (slot order:
+  /// dip_dport, sip_dip, sip_dport). Long-lived so the search workspaces —
+  /// DFS levels or compact extraction buffers, per the bank's backend —
+  /// reach an allocation-free steady state.
+  std::array<ReverseEngine, 3> inference_;
   std::array<InferenceResult, 3> inference_result_;
   /// Step-2 provenance for the current interval: the victim DIP that put
   /// each source into FLOODING_SIP_SET. Phase 3 uses it to drop non-spoofed
   /// flooding alerts whose victim's own flood alert was filtered out (e.g.
   /// as a misconfiguration), keeping the two alert families consistent.
   std::unordered_map<std::uint32_t, std::uint32_t> flooding_sip_victim_;
-  std::unique_ptr<Forecaster<ReversibleSketch>> f_sip_dport_;
-  std::unique_ptr<Forecaster<ReversibleSketch>> f_dip_dport_;
-  std::unique_ptr<Forecaster<ReversibleSketch>> f_sip_dip_;
+  std::unique_ptr<Forecaster<InvertibleSketch>> f_sip_dport_;
+  std::unique_ptr<Forecaster<InvertibleSketch>> f_dip_dport_;
+  std::unique_ptr<Forecaster<InvertibleSketch>> f_sip_dip_;
   std::unique_ptr<Forecaster<KarySketch>> fv_sip_dport_;
   std::unique_ptr<Forecaster<KarySketch>> fv_dip_dport_;
   std::unique_ptr<Forecaster<KarySketch>> fv_sip_dip_;

@@ -36,14 +36,33 @@ Sketch2dConfig derive(Sketch2dConfig c, std::uint64_t master,
   c.seed = role_seed(master, role);
   return c;
 }
+CompactInvertibleConfig derive(CompactInvertibleConfig c, std::uint64_t master,
+                               std::uint64_t role) {
+  c.seed = role_seed(master, role);
+  return c;
+}
+
+/// Assembles one invertible-sketch config for a bank role: both backend
+/// shapes get role-derived seeds so a backend flip alone never changes which
+/// hash families the OTHER backend would use.
+InvertibleSketchConfig derive_inv(const SketchBankConfig& bank,
+                                  const ReversibleSketchConfig& rs,
+                                  const CompactInvertibleConfig& ci,
+                                  std::uint64_t role) {
+  return InvertibleSketchConfig{
+      .kind = bank.backend,
+      .reversible = derive(rs, bank.seed, role),
+      .compact = derive(ci, bank.seed, role),
+  };
+}
 
 }  // namespace
 
 SketchBank::SketchBank(const SketchBankConfig& config)
     : config_(config),
-      rs_sip_dport_(derive(config.rs48, config.seed, 11)),
-      rs_dip_dport_(derive(config.rs48, config.seed, 12)),
-      rs_sip_dip_(derive(config.rs64, config.seed, 13)),
+      rs_sip_dport_(derive_inv(config, config.rs48, config.ci48, 11)),
+      rs_dip_dport_(derive_inv(config, config.rs48, config.ci48, 12)),
+      rs_sip_dip_(derive_inv(config, config.rs64, config.ci64, 13)),
       verif_sip_dport_(derive(config.verification, config.seed, 21)),
       verif_dip_dport_(derive(config.verification, config.seed, 22)),
       verif_sip_dip_(derive(config.verification, config.seed, 23)),
@@ -258,7 +277,7 @@ void SketchBank::combine_into(
     (void)coeff;
     packets += bank->packets_recorded_;
   }
-  std::array<std::pair<double, const ReversibleSketch*>, kMaxShards> rs;
+  std::array<std::pair<double, const InvertibleSketch*>, kMaxShards> rs;
   std::array<std::pair<double, const KarySketch*>, kMaxShards> ks;
   std::array<std::pair<double, const TwoDSketch*>, kMaxShards> ts;
   rs_sip_dport_.combine_into(
@@ -316,17 +335,17 @@ void SketchBank::merge_shards(std::span<const SketchBank* const> shards,
     }
   };
   run([this, span] {
-    std::array<std::pair<double, const ReversibleSketch*>, kMaxShards> t;
+    std::array<std::pair<double, const InvertibleSketch*>, kMaxShards> t;
     rs_sip_dport_.combine_into(
         project_terms(span, &SketchBank::rs_sip_dport, t));
   });
   run([this, span] {
-    std::array<std::pair<double, const ReversibleSketch*>, kMaxShards> t;
+    std::array<std::pair<double, const InvertibleSketch*>, kMaxShards> t;
     rs_dip_dport_.combine_into(
         project_terms(span, &SketchBank::rs_dip_dport, t));
   });
   run([this, span] {
-    std::array<std::pair<double, const ReversibleSketch*>, kMaxShards> t;
+    std::array<std::pair<double, const InvertibleSketch*>, kMaxShards> t;
     rs_sip_dip_.combine_into(project_terms(span, &SketchBank::rs_sip_dip, t));
   });
   run([this, span] {

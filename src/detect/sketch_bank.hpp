@@ -17,8 +17,8 @@
 
 #include "packet/packet.hpp"
 #include "sketch/kary_sketch.hpp"
-#include "sketch/reversible_sketch.hpp"
 #include "sketch/sketch2d.hpp"
+#include "sketch/sketch_backend.hpp"
 
 namespace hifind {
 
@@ -26,6 +26,10 @@ class TaskPool;
 
 /// Shapes for every sketch in a bank. Defaults are the paper's Sec. 5.1
 /// parameters (H=6 stages RS/OS, H=5 2D, 2^12/2^16/2^14 buckets).
+/// `backend` selects the invertible-sketch implementation behind the three
+/// per-key-space sketches: the reference reversible backend uses the
+/// rs48/rs64 shapes, the compact invertible backend the ci48/ci64 shapes
+/// (fewer stages, bucket-embedded key material — see sketch_backend.hpp).
 struct SketchBankConfig {
   std::uint64_t seed{42};  ///< master seed; per-sketch seeds derive from it
 
@@ -46,6 +50,15 @@ struct SketchBankConfig {
                       .x_buckets = 1u << 12,
                       .y_buckets = 64,
                       .seed = 0};
+  SketchBackendKind backend{SketchBackendKind::kReversible};
+  CompactInvertibleConfig ci48{.key_bits = 48,
+                               .num_stages = 3,
+                               .bucket_bits = 12,
+                               .seed = 0};
+  CompactInvertibleConfig ci64{.key_bits = 64,
+                               .num_stages = 3,
+                               .bucket_bits = 12,
+                               .seed = 0};
 
   bool operator==(const SketchBankConfig&) const = default;
 };
@@ -157,9 +170,9 @@ class SketchBank {
 
   const SketchBankConfig& config() const { return config_; }
 
-  const ReversibleSketch& rs_sip_dport() const { return rs_sip_dport_; }
-  const ReversibleSketch& rs_dip_dport() const { return rs_dip_dport_; }
-  const ReversibleSketch& rs_sip_dip() const { return rs_sip_dip_; }
+  const InvertibleSketch& rs_sip_dport() const { return rs_sip_dport_; }
+  const InvertibleSketch& rs_dip_dport() const { return rs_dip_dport_; }
+  const InvertibleSketch& rs_sip_dip() const { return rs_sip_dip_; }
   const KarySketch& verif_sip_dport() const { return verif_sip_dport_; }
   const KarySketch& verif_dip_dport() const { return verif_dip_dport_; }
   const KarySketch& verif_sip_dip() const { return verif_sip_dip_; }
@@ -187,9 +200,9 @@ class SketchBank {
   friend class SketchBankWire;  // serialization (detect/sketch_wire.cpp)
 
   SketchBankConfig config_;
-  ReversibleSketch rs_sip_dport_;
-  ReversibleSketch rs_dip_dport_;
-  ReversibleSketch rs_sip_dip_;
+  InvertibleSketch rs_sip_dport_;
+  InvertibleSketch rs_dip_dport_;
+  InvertibleSketch rs_sip_dip_;
   KarySketch verif_sip_dport_;
   KarySketch verif_dip_dport_;
   KarySketch verif_sip_dip_;

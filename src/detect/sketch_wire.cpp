@@ -31,13 +31,34 @@ WireError::WireError(WireFault fault, const std::string& detail)
       fault_(fault) {}
 
 /// Friend of SketchBank: packs/unpacks the counter arrays.
+///
+/// Backend handling: HFB2 predates backend selection, so its config block
+/// has no backend fields — banks on the default reversible backend still
+/// serialize as byte-identical HFB2 frames (old collectors keep working).
+/// A bank on any other backend gets an HFB3 frame, whose config block
+/// appends the backend tag and the compact shapes; everything after the
+/// config (ten flat f64 arrays + packet count) is layout-identical.
 class SketchBankWire {
  public:
   static constexpr std::uint32_t kMagicV1 = 0x31424648;  // "HFB1"
   static constexpr std::uint32_t kMagicV2 = 0x32424648;  // "HFB2"
+  static constexpr std::uint32_t kMagicV3 = 0x33424648;  // "HFB3"
 
-  static void serialize_body(ByteWriter& w, const SketchBank& bank) {
-    write_config(w, bank.config());
+  static bool needs_v3(const SketchBank& bank) {
+    // V2 is chosen iff the config is FULLY representable in a V2 frame: the
+    // default backend and the default compact shapes (which is what a V2
+    // reader reconstructs). A reversible bank with customized compact
+    // shapes must ship them, or the round-trip would break the config
+    // equality that gates COMBINE.
+    static const SketchBankConfig defaults{};
+    const SketchBankConfig& c = bank.config();
+    return c.backend != SketchBackendKind::kReversible ||
+           c.ci48 != defaults.ci48 || c.ci64 != defaults.ci64;
+  }
+
+  static void serialize_body(ByteWriter& w, const SketchBank& bank,
+                             bool extended) {
+    write_config(w, bank.config(), extended);
     w.f64_span(bank.rs_sip_dport_.counters());
     w.f64_span(bank.rs_dip_dport_.counters());
     w.f64_span(bank.rs_sip_dip_.counters());
@@ -51,11 +72,11 @@ class SketchBankWire {
     w.u64(bank.packets_recorded_);
   }
 
-  /// Parses the body (config + counters); shared by both frame versions.
+  /// Parses the body (config + counters); shared by every frame version.
   /// Translates the untyped ByteReader/load_counters errors into WireError.
-  static SketchBank deserialize_body(ByteReader& r) {
+  static SketchBank deserialize_body(ByteReader& r, bool extended) {
     try {
-      const SketchBankConfig cfg = read_config(r);
+      const SketchBankConfig cfg = read_config(r, extended);
       // Refuse before constructing the bank unless the config's implied
       // counter footprint matches the bytes actually present. Without this,
       // a flipped byte in a num_buckets/num_stages field makes the decoder
@@ -110,13 +131,22 @@ class SketchBankWire {
       return u128{cap(static_cast<std::uint64_t>(rs.num_stages), 64)}
              << cap(static_cast<std::uint64_t>(rs.bucket_bits), 30);
     };
+    // Compact backend: per bucket 1 value counter + key_bits bit counters.
+    const auto ci_len = [&](const CompactInvertibleConfig& ci) {
+      return (u128{cap(static_cast<std::uint64_t>(ci.num_stages), 64)}
+              << cap(static_cast<std::uint64_t>(ci.bucket_bits), 30)) *
+             (1 + cap(static_cast<std::uint64_t>(ci.key_bits), 64));
+    };
     const auto kary_len = [&](const KarySketchConfig& k) {
       return u128{cap(k.num_stages, 64)} * cap(k.num_buckets, 1u << 30);
     };
     const u128 twod_len = u128{cap(c.twod.num_stages, 64)} *
                           cap(c.twod.x_buckets, 1u << 30) *
                           cap(c.twod.y_buckets, 1u << 30);
-    const u128 doubles = 2 * rs_len(c.rs48) + rs_len(c.rs64) +
+    const bool compact = c.backend == SketchBackendKind::kCompact;
+    const u128 inv_doubles = compact ? 2 * ci_len(c.ci48) + ci_len(c.ci64)
+                                     : 2 * rs_len(c.rs48) + rs_len(c.rs64);
+    const u128 doubles = inv_doubles +
                          4 * kary_len(c.verification) +  // 3 verif + history
                          kary_len(c.original) + 2 * twod_len;
     // Ten length-prefixed f64 arrays plus the packets_recorded trailer.
@@ -131,7 +161,8 @@ class SketchBankWire {
     }
   }
 
-  static void write_config(ByteWriter& w, const SketchBankConfig& c) {
+  static void write_config(ByteWriter& w, const SketchBankConfig& c,
+                           bool extended) {
     w.u64(c.seed);
     w.u8(static_cast<std::uint8_t>(c.rs48.key_bits));
     w.u64(c.rs48.num_stages);
@@ -146,9 +177,18 @@ class SketchBankWire {
     w.u64(c.twod.num_stages);
     w.u64(c.twod.x_buckets);
     w.u64(c.twod.y_buckets);
+    if (extended) {  // HFB3 appendix: backend tag + compact shapes
+      w.u8(static_cast<std::uint8_t>(c.backend));
+      w.u8(static_cast<std::uint8_t>(c.ci48.key_bits));
+      w.u64(c.ci48.num_stages);
+      w.u8(static_cast<std::uint8_t>(c.ci48.bucket_bits));
+      w.u8(static_cast<std::uint8_t>(c.ci64.key_bits));
+      w.u64(c.ci64.num_stages);
+      w.u8(static_cast<std::uint8_t>(c.ci64.bucket_bits));
+    }
   }
 
-  static SketchBankConfig read_config(ByteReader& r) {
+  static SketchBankConfig read_config(ByteReader& r, bool extended) {
     SketchBankConfig c;
     c.seed = r.u64();
     c.rs48.key_bits = r.u8();
@@ -164,6 +204,19 @@ class SketchBankWire {
     c.twod.num_stages = r.u64();
     c.twod.x_buckets = r.u64();
     c.twod.y_buckets = r.u64();
+    if (extended) {
+      const std::uint8_t backend = r.u8();
+      if (backend > static_cast<std::uint8_t>(SketchBackendKind::kCompact)) {
+        throw WireError(WireFault::kBadPayload, "unknown sketch backend tag");
+      }
+      c.backend = static_cast<SketchBackendKind>(backend);
+      c.ci48.key_bits = r.u8();
+      c.ci48.num_stages = r.u64();
+      c.ci48.bucket_bits = r.u8();
+      c.ci64.key_bits = r.u8();
+      c.ci64.num_stages = r.u64();
+      c.ci64.bucket_bits = r.u8();
+    }
     return c;
   }
 };
@@ -174,9 +227,10 @@ namespace {
 /// u64 | crc u32.
 constexpr std::size_t kV2HeaderBytes = 4 + 4 + 8 + 8 + 4;
 
-SketchBank parse_body_span(std::span<const std::uint8_t> body) {
+SketchBank parse_body_span(std::span<const std::uint8_t> body,
+                           bool extended) {
   ByteReader r(body);
-  SketchBank bank = SketchBankWire::deserialize_body(r);
+  SketchBank bank = SketchBankWire::deserialize_body(r, extended);
   if (!r.exhausted()) {
     throw WireError(WireFault::kTrailingBytes, "payload longer than bank");
   }
@@ -188,12 +242,13 @@ SketchBank parse_body_span(std::span<const std::uint8_t> body) {
 std::vector<std::uint8_t> serialize_frame(const SketchBank& bank,
                                           std::uint32_t router_id,
                                           std::uint64_t interval) {
+  const bool v3 = SketchBankWire::needs_v3(bank);
   ByteWriter payload;
-  SketchBankWire::serialize_body(payload, bank);
+  SketchBankWire::serialize_body(payload, bank, v3);
   const std::vector<std::uint8_t>& body = payload.bytes();
 
   ByteWriter w;
-  w.u32(SketchBankWire::kMagicV2);
+  w.u32(v3 ? SketchBankWire::kMagicV3 : SketchBankWire::kMagicV2);
   w.u32(router_id);
   w.u64(interval);
   w.u64(body.size());
@@ -211,15 +266,16 @@ BankFrame deserialize_frame(std::span<const std::uint8_t> bytes) {
   const std::uint32_t magic = r.u32();
 
   if (magic == SketchBankWire::kMagicV1) {
-    SketchBank bank = SketchBankWire::deserialize_body(r);
+    SketchBank bank = SketchBankWire::deserialize_body(r, false);
     if (!r.exhausted()) {
       throw WireError(WireFault::kTrailingBytes, "bytes after HFB1 bank");
     }
     return BankFrame{1, 0, 0, std::move(bank)};
   }
-  if (magic != SketchBankWire::kMagicV2) {
-    throw WireError(WireFault::kBadMagic, "not an HFB1/HFB2 frame");
+  if (magic != SketchBankWire::kMagicV2 && magic != SketchBankWire::kMagicV3) {
+    throw WireError(WireFault::kBadMagic, "not an HFB1/HFB2/HFB3 frame");
   }
+  const bool extended = magic == SketchBankWire::kMagicV3;
 
   if (bytes.size() < kV2HeaderBytes) {
     throw WireError(WireFault::kTruncated, "frame shorter than HFB2 header");
@@ -238,7 +294,8 @@ BankFrame deserialize_frame(std::span<const std::uint8_t> bytes) {
   if (crc32c(payload) != crc) {
     throw WireError(WireFault::kChecksumMismatch, "payload CRC-32C failed");
   }
-  return BankFrame{2, router_id, interval, parse_body_span(payload)};
+  return BankFrame{static_cast<std::uint8_t>(extended ? 3 : 2), router_id,
+                   interval, parse_body_span(payload, extended)};
 }
 
 std::vector<std::uint8_t> serialize_bank(const SketchBank& bank) {
@@ -250,9 +307,14 @@ SketchBank deserialize_bank(std::span<const std::uint8_t> bytes) {
 }
 
 std::vector<std::uint8_t> serialize_bank_hfb1(const SketchBank& bank) {
+  if (SketchBankWire::needs_v3(bank)) {
+    throw std::invalid_argument(
+        "serialize_bank_hfb1: HFB1 predates backend selection and can only "
+        "encode banks on the reversible backend");
+  }
   ByteWriter w;
   w.u32(SketchBankWire::kMagicV1);
-  SketchBankWire::serialize_body(w, bank);
+  SketchBankWire::serialize_body(w, bank, false);
   return w.take();
 }
 

@@ -3,13 +3,19 @@
 // with compact sketches at each edge router, and deliver them quickly to
 // some central site").
 //
-// Two frame versions, dispatched on the leading magic:
+// Three frame versions, dispatched on the leading magic:
 //
 //   "HFB1" (legacy)   magic | config | counter arrays | packets_recorded
 //   "HFB2" (current)  magic | router_id u32 | interval u64 | payload_len u64
 //                     | crc32c(payload) u32 | payload
 //                     where payload = config | counter arrays |
 //                     packets_recorded (the HFB1 body, unchanged)
+//   "HFB3"            HFB2 with the backend tag and the compact invertible
+//                     shapes appended to the config block. Banks on the
+//                     default reversible backend still serialize as
+//                     byte-identical HFB2 frames; only a non-default backend
+//                     selects HFB3, so pre-backend collectors interoperate
+//                     until the day a compact bank actually reaches them.
 //
 // HFB2 exists because the collection path between routers and the central
 // site is a real network: frames get truncated, corrupted, replayed and

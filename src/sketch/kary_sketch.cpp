@@ -47,9 +47,27 @@ void KarySketch::update_batch(std::span<const KeyDelta> ops) {
   // index pass issues prefetches; the apply pass then mostly hits cache.
   constexpr std::size_t kBlock = 32;
   constexpr std::size_t kMaxStagesInBlock = 16;
+  // Prefetching only pays when the counter array outgrows the fast caches:
+  // below this footprint the apply pass hits L2 anyway, and the extra
+  // index-staging pass makes the batch path SLOWER than plain scalar
+  // updates (measured: 29.9M vs 35.8M items/s on the 6x2^14 k-ary shape,
+  // 786 KiB). Small sketches therefore take the scalar loop — bit-identical
+  // to update() per op, same order, same adds — and only cache-busting
+  // shapes (e.g. RS64's 3 MiB array) stage and prefetch.
+  constexpr std::size_t kPrefetchMinBytes = std::size_t{2} << 20;
   const std::size_t H = config_.num_stages;
-  if (H > kMaxStagesInBlock) {  // exotic shapes: plain scalar path
-    for (const auto& op : ops) update(op.key, op.delta);
+  const bool footprint_small = counters_.size() * sizeof(double) <
+                               kPrefetchMinBytes;
+  if (H > kMaxStagesInBlock || footprint_small) {
+    // Same adds in the same order as update() per op; only the per-op
+    // update_count_ increment is hoisted, so batch never trails scalar.
+    for (const auto& op : ops) {
+      for (std::size_t h = 0; h < H; ++h) {
+        counters_[bucket_index(h, op.key)] += op.delta;
+        stage_sums_[h] += op.delta;
+      }
+    }
+    update_count_ += ops.size();
     return;
   }
   std::size_t idx[kBlock * kMaxStagesInBlock];

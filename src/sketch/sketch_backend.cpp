@@ -1,0 +1,102 @@
+#include "sketch/sketch_backend.hpp"
+
+#include <array>
+#include <string>
+
+namespace hifind {
+
+std::string_view sketch_backend_name(SketchBackendKind kind) {
+  switch (kind) {
+    case SketchBackendKind::kReversible:
+      return "reversible";
+    case SketchBackendKind::kCompact:
+      return "compact";
+  }
+  return "unknown";
+}
+
+SketchBackendKind sketch_backend_from_name(std::string_view name) {
+  if (name == "reversible") return SketchBackendKind::kReversible;
+  if (name == "compact") return SketchBackendKind::kCompact;
+  throw std::invalid_argument("unknown sketch backend: " + std::string(name));
+}
+
+void InvertibleSketch::combine_into(
+    std::span<const std::pair<double, const InvertibleSketch*>> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("InvertibleSketch::combine_into: no terms");
+  }
+  if (terms.size() > kMaxTerms) {
+    throw std::invalid_argument(
+        "InvertibleSketch::combine_into: too many terms");
+  }
+  for (const auto& [coeff, sketch] : terms) {
+    (void)coeff;
+    check_same(*sketch, "combine_into");
+  }
+  std::visit(
+      [&](auto& self) {
+        using S = std::remove_reference_t<decltype(self)>;
+        std::array<std::pair<double, const S*>, kMaxTerms> proj;
+        for (std::size_t i = 0; i < terms.size(); ++i) {
+          proj[i] = {terms[i].first, &std::get<S>(terms[i].second->impl_)};
+        }
+        self.combine_into(std::span<const std::pair<double, const S*>>(
+            proj.data(), terms.size()));
+      },
+      impl_);
+}
+
+void ReverseEngine::begin(const InvertibleSketch& sketch, double threshold,
+                          const InferenceOptions& options,
+                          StageBuckets stage_buckets) {
+  compact_active_ = sketch.kind() == SketchBackendKind::kCompact;
+  if (compact_active_) {
+    extract_.begin(sketch.compact(), threshold, options,
+                   std::move(stage_buckets));
+  } else {
+    dfs_.begin(sketch.reversible(), threshold, options,
+               std::move(stage_buckets));
+  }
+}
+
+void ReverseEngine::begin(const InvertibleSketch& sketch, double threshold,
+                          const InferenceOptions& options) {
+  begin(sketch, threshold, options, heavy_buckets(sketch, threshold));
+}
+
+bool ReverseEngine::run_chunk(std::size_t quantum) {
+  return compact_active_ ? extract_.run_chunk(quantum)
+                         : dfs_.run_chunk(quantum);
+}
+
+InferenceResult ReverseEngine::take_result() {
+  return compact_active_ ? extract_.take_result() : dfs_.take_result();
+}
+
+StageBuckets heavy_buckets(const InvertibleSketch& sketch, double threshold) {
+  if (sketch.kind() == SketchBackendKind::kCompact) {
+    return heavy_buckets(sketch.compact(), threshold);
+  }
+  return heavy_buckets(sketch.reversible(), threshold);
+}
+
+InferenceResult infer_heavy_keys(const InvertibleSketch& sketch,
+                                 double threshold,
+                                 const InferenceOptions& options) {
+  return infer_heavy_keys(sketch, threshold, options,
+                          heavy_buckets(sketch, threshold));
+}
+
+InferenceResult infer_heavy_keys(const InvertibleSketch& sketch,
+                                 double threshold,
+                                 const InferenceOptions& options,
+                                 StageBuckets stage_buckets) {
+  ReverseEngine engine;
+  engine.begin(sketch, threshold, options, std::move(stage_buckets));
+  while (!engine.run_chunk(~std::size_t{0})) {
+  }
+  return engine.take_result();
+}
+
+}  // namespace hifind

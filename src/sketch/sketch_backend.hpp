@@ -1,0 +1,283 @@
+// Pluggable invertible-sketch backend.
+//
+// Detection needs exactly six capabilities from its per-key-space sketches —
+// UPDATE, ESTIMATE, COMBINE, COMBINE_INTO, REVERSE, and serialize — and
+// until this layer existed they were welded to one implementation, the
+// Schweller reversible sketch, whose REVERSE is a modular-hash DFS sweep.
+// InvertibleSketch is the seam: a closed-set value wrapper over the backends
+// that provide those capabilities, selected per SketchBank by config.
+//
+//   kReversible — ReversibleSketch + StreamingInference (the paper-faithful
+//                 reference backend; REVERSE = bucket-intersection DFS).
+//   kCompact    — CompactInvertibleSketch + CompactExtraction (Tang-style
+//                 bucket-embedded key material; REVERSE = O(key_bits) direct
+//                 decode per heavy bucket, no sweep).
+//
+// A std::variant rather than virtual dispatch: the recording hot path calls
+// update()/update_batch() millions of times per second, the fused forecaster
+// kernels need raw counter spans (SketchKernelAccess), and the set of
+// backends is known at compile time. The wrapper exposes the full flat-array
+// sketch surface, so Forecaster<InvertibleSketch>, SketchArena, the SIMD
+// kernels, the shard merge, and the wire layer all work unchanged — and the
+// backend contract every implementation must honor is:
+//
+//   * COMBINE linearity: counters are plain linear accumulators and
+//     combine/combine_into/accumulate/scale are EXACT whole-array linear
+//     algebra (same simd kernels), so shard merges are bit-identical to
+//     serial recording and forecasters roll in sketch space.
+//   * Resumable REVERSE: the extraction engine exposes
+//     begin/run_chunk/take_result with a deterministic work meter, so the
+//     epoch budget truncates at a point that is a pure function of
+//     (bank, config) — never of chunk size, thread count, or wall clock.
+//   * Flat serialization: state is config + one double array
+//     (counters()/load_counters()), which the HFB wire frames ship as-is.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "sketch/compact_invertible.hpp"
+#include "sketch/reversible_sketch.hpp"
+#include "sketch/sketch_kernels.hpp"
+
+namespace hifind {
+
+enum class SketchBackendKind : std::uint8_t {
+  kReversible = 0,  ///< modular-hash reversible sketch + DFS reversal
+  kCompact = 1,     ///< compact invertible sketch + direct bucket decode
+};
+
+/// "reversible" / "compact" — stable names used by benches, CI and configs.
+std::string_view sketch_backend_name(SketchBackendKind kind);
+
+/// Parses a backend name; throws std::invalid_argument on unknown names.
+SketchBackendKind sketch_backend_from_name(std::string_view name);
+
+/// Shape of one invertible sketch, backend selection included. Only the
+/// selected backend's sub-config is used; both are kept so a SketchBank
+/// config can flip backends without re-deriving shapes.
+struct InvertibleSketchConfig {
+  SketchBackendKind kind{SketchBackendKind::kReversible};
+  ReversibleSketchConfig reversible{};
+  CompactInvertibleConfig compact{};
+
+  bool operator==(const InvertibleSketchConfig&) const = default;
+};
+
+/// The pluggable invertible sketch. Value-semantic; every member dispatches
+/// to the selected backend. See the file comment for the backend contract.
+class InvertibleSketch {
+ public:
+  /// Largest COMBINE term count the stack-projected combine_into supports —
+  /// sized for SketchBank::kMaxShards + the destination.
+  static constexpr std::size_t kMaxTerms = 33;
+
+  explicit InvertibleSketch(const InvertibleSketchConfig& config)
+      : config_(config),
+        impl_(config.kind == SketchBackendKind::kReversible
+                  ? Impl(std::in_place_type<ReversibleSketch>,
+                         config.reversible)
+                  : Impl(std::in_place_type<CompactInvertibleSketch>,
+                         config.compact)) {}
+
+  SketchBackendKind kind() const { return config_.kind; }
+  const InvertibleSketchConfig& config() const { return config_; }
+
+  /// Backend-specific views (for serialization and tests). Throws
+  /// std::bad_variant_access when the other backend is selected.
+  const ReversibleSketch& reversible() const {
+    return std::get<ReversibleSketch>(impl_);
+  }
+  const CompactInvertibleSketch& compact() const {
+    return std::get<CompactInvertibleSketch>(impl_);
+  }
+
+  void update(std::uint64_t key, double delta) {
+    std::visit([&](auto& s) { s.update(key, delta); }, impl_);
+  }
+  void update_batch(std::span<const KeyDelta> ops) {
+    std::visit([&](auto& s) { s.update_batch(ops); }, impl_);
+  }
+  double estimate(std::uint64_t key) const {
+    return std::visit([&](const auto& s) { return s.estimate(key); }, impl_);
+  }
+
+  bool combinable_with(const InvertibleSketch& other) const {
+    return config_ == other.config_;
+  }
+
+  void accumulate(const InvertibleSketch& other, double coeff = 1.0) {
+    check_same(other, "accumulate");
+    std::visit(
+        [&](auto& s) {
+          using S = std::remove_reference_t<decltype(s)>;
+          s.accumulate(std::get<S>(other.impl_), coeff);
+        },
+        impl_);
+  }
+  void scale(double coeff) {
+    std::visit([&](auto& s) { s.scale(coeff); }, impl_);
+  }
+  void clear() {
+    std::visit([](auto& s) { s.clear(); }, impl_);
+  }
+
+  static InvertibleSketch combine(
+      std::span<const std::pair<double, const InvertibleSketch*>> terms) {
+    if (terms.empty()) {
+      throw std::invalid_argument("InvertibleSketch::combine: no terms");
+    }
+    InvertibleSketch out(terms.front().second->config());
+    out.combine_into(terms);
+    return out;
+  }
+
+  /// Destination-reuse COMBINE: projects the term list onto the selected
+  /// backend (stack storage, up to kMaxTerms) and forwards. Same contract as
+  /// the backends': `this` may alias term 0 only.
+  void combine_into(
+      std::span<const std::pair<double, const InvertibleSketch*>> terms);
+
+  double bucket_value(std::size_t stage, std::size_t bucket) const {
+    return std::visit(
+        [&](const auto& s) { return s.bucket_value(stage, bucket); }, impl_);
+  }
+  double stage_sum(std::size_t stage) const {
+    return std::visit([&](const auto& s) { return s.stage_sum(stage); },
+                      impl_);
+  }
+  std::span<const double> counters() const {
+    return std::visit([](const auto& s) { return s.counters(); }, impl_);
+  }
+  void load_counters(std::span<const double> counters) {
+    std::visit([&](auto& s) { s.load_counters(counters); }, impl_);
+  }
+
+  /// Collect-region shape for the fused forecaster kernels (the compact
+  /// backend's threshold scan covers the value counters only).
+  std::size_t collect_rows() const {
+    return std::visit(
+        [](const auto& s) -> std::size_t { return s.config().num_stages; },
+        impl_);
+  }
+  std::size_t collect_cols() const {
+    return std::visit(
+        [](const auto& s) -> std::size_t { return s.config().num_buckets(); },
+        impl_);
+  }
+
+  std::size_t memory_bytes() const {
+    return std::visit([](const auto& s) { return s.memory_bytes(); }, impl_);
+  }
+  std::size_t memory_bytes_hw() const {
+    return std::visit([](const auto& s) { return s.memory_bytes_hw(); },
+                      impl_);
+  }
+  std::size_t accesses_per_update() const {
+    return std::visit([](const auto& s) { return s.accesses_per_update(); },
+                      impl_);
+  }
+  std::uint64_t update_count() const {
+    return std::visit([](const auto& s) { return s.update_count(); }, impl_);
+  }
+
+ private:
+  friend struct SketchKernelAccess;
+  using Impl = std::variant<ReversibleSketch, CompactInvertibleSketch>;
+
+  void check_same(const InvertibleSketch& other, const char* what) const {
+    if (impl_.index() != other.impl_.index()) {
+      throw std::invalid_argument(std::string("InvertibleSketch::") + what +
+                                  ": backends differ");
+    }
+  }
+
+  InvertibleSketchConfig config_;
+  Impl impl_;
+};
+
+/// REVERSE for the pluggable sketch: wraps the backend extraction engines
+/// behind one begin/run_chunk/take_result surface with the shared
+/// InferenceOptions/InferenceResult types. Both engines are kept as members
+/// (they retain workspaces across runs), so a long-lived ReverseEngine stays
+/// allocation-free on stable shapes, whichever backend drives it.
+class ReverseEngine {
+ public:
+  ReverseEngine() = default;
+  ReverseEngine(const ReverseEngine&) = delete;
+  ReverseEngine& operator=(const ReverseEngine&) = delete;
+
+  void begin(const InvertibleSketch& sketch, double threshold,
+             const InferenceOptions& options, StageBuckets stage_buckets);
+  void begin(const InvertibleSketch& sketch, double threshold,
+             const InferenceOptions& options);
+  bool run_chunk(std::size_t quantum);
+  bool done() const {
+    return compact_active_ ? extract_.done() : dfs_.done();
+  }
+  std::size_t work_used() const {
+    return compact_active_ ? extract_.work_used() : dfs_.work_used();
+  }
+  InferenceResult take_result();
+
+ private:
+  StreamingInference dfs_;
+  CompactExtraction extract_;
+  bool compact_active_{false};
+};
+
+/// Per-stage heavy-bucket indices of the selected backend (the shared
+/// estimate-cut formula; the heavy_buckets() format both engines consume).
+StageBuckets heavy_buckets(const InvertibleSketch& sketch, double threshold);
+
+/// One-shot REVERSE through the selected backend.
+InferenceResult infer_heavy_keys(const InvertibleSketch& sketch,
+                                 double threshold,
+                                 const InferenceOptions& options = {});
+InferenceResult infer_heavy_keys(const InvertibleSketch& sketch,
+                                 double threshold,
+                                 const InferenceOptions& options,
+                                 StageBuckets stage_buckets);
+
+// SketchKernelAccess dispatch for the wrapper (declared in
+// sketch_kernels.hpp): route the kernel layer straight at the selected
+// backend's storage via the template overloads, which are friends of every
+// backend type.
+inline std::span<double> SketchKernelAccess::counters(InvertibleSketch& s) {
+  return std::visit(
+      [](auto& impl) { return SketchKernelAccess::counters(impl); }, s.impl_);
+}
+inline std::span<const double> SketchKernelAccess::counters(
+    const InvertibleSketch& s) {
+  return std::visit(
+      [](const auto& impl) { return SketchKernelAccess::counters(impl); },
+      s.impl_);
+}
+inline std::span<double> SketchKernelAccess::stage_sums(InvertibleSketch& s) {
+  return std::visit(
+      [](auto& impl) { return SketchKernelAccess::stage_sums(impl); },
+      s.impl_);
+}
+inline std::span<const double> SketchKernelAccess::stage_sums(
+    const InvertibleSketch& s) {
+  return std::visit(
+      [](const auto& impl) { return SketchKernelAccess::stage_sums(impl); },
+      s.impl_);
+}
+inline std::uint64_t SketchKernelAccess::update_count(
+    const InvertibleSketch& s) {
+  return std::visit(
+      [](const auto& impl) { return SketchKernelAccess::update_count(impl); },
+      s.impl_);
+}
+inline void SketchKernelAccess::set_update_count(InvertibleSketch& s,
+                                                 std::uint64_t n) {
+  std::visit([&](auto& impl) { SketchKernelAccess::set_update_count(impl, n); },
+             s.impl_);
+}
+
+}  // namespace hifind

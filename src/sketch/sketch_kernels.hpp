@@ -37,6 +37,8 @@
 
 namespace hifind {
 
+class InvertibleSketch;  // backend wrapper (sketch_backend.hpp)
+
 /// Per-stage heavy-bucket candidate lists (ascending bucket ids) — the
 /// format reverse inference consumes (see heavy_buckets()).
 using StageBuckets = std::vector<std::vector<std::uint32_t>>;
@@ -44,7 +46,11 @@ using StageBuckets = std::vector<std::vector<std::uint32_t>>;
 /// Counter-storage access for the kernel layer. Befriended by the sketch
 /// types so fused kernels can run single passes over raw storage while
 /// keeping the cached stage sums consistent; nothing else should touch
-/// counters directly.
+/// counters directly. The InvertibleSketch overloads (defined inline in
+/// sketch_backend.hpp — non-template, so they beat the generic template on
+/// exact match) dispatch through the backend variant, which lets every
+/// kernel below instantiate for the wrapper without per-kernel
+/// specializations.
 struct SketchKernelAccess {
   template <class S>
   static std::span<double> counters(S& s) {
@@ -58,6 +64,8 @@ struct SketchKernelAccess {
   static std::span<const double> counters(const TwoDSketch& s) {
     return s.cells_;
   }
+  static std::span<double> counters(InvertibleSketch& s);
+  static std::span<const double> counters(const InvertibleSketch& s);
 
   template <class S>
   static std::span<double> stage_sums(S& s) {
@@ -67,6 +75,8 @@ struct SketchKernelAccess {
   static std::span<const double> stage_sums(const S& s) {
     return s.stage_sums_;
   }
+  static std::span<double> stage_sums(InvertibleSketch& s);
+  static std::span<const double> stage_sums(const InvertibleSketch& s);
 
   template <class S>
   static std::uint64_t update_count(const S& s) {
@@ -76,6 +86,8 @@ struct SketchKernelAccess {
   static void set_update_count(S& s, std::uint64_t n) {
     s.update_count_ = n;
   }
+  static std::uint64_t update_count(const InvertibleSketch& s);
+  static void set_update_count(InvertibleSketch& s, std::uint64_t n);
 };
 
 namespace kernels {
@@ -85,6 +97,20 @@ namespace kernels {
 template <class S>
 concept HasStageSums = requires(const S& s) {
   { s.stage_sum(std::size_t{0}) } -> std::convertible_to<double>;
+};
+
+/// True for sketch types whose heavy-bucket collect region is a PREFIX of
+/// the flat counter array rather than all of it. The compact invertible
+/// backend appends per-bucket key-bit counters after the value counters: the
+/// threshold scan must cover only the first collect_rows() x collect_cols()
+/// elements (the value region the stage sums describe), while the bit tail
+/// still receives the identical per-element roll. Plain sketch types don't
+/// expose the members, making the whole-array layout (K = size / H, empty
+/// tail) the default.
+template <class S>
+concept HasCollectRegion = requires(const S& s) {
+  { s.collect_rows() } -> std::convertible_to<std::size_t>;
+  { s.collect_cols() } -> std::convertible_to<std::size_t>;
 };
 
 namespace detail {
@@ -173,7 +199,8 @@ void ewma_roll_collect(S& fc, const S& obs, S& err, double alpha,
     auto fs = A::stage_sums(fc);
     auto es = A::stage_sums(err);
     const std::size_t H = os.size();
-    const std::size_t K = o.size() / H;
+    std::size_t K = o.size() / H;
+    if constexpr (HasCollectRegion<S>) K = obs.collect_cols();
     heavy.resize(H);
     auto& scratch = detail::collect_scratch(K);
     for (std::size_t h = 0; h < H; ++h) {
@@ -187,6 +214,12 @@ void ewma_roll_collect(S& fc, const S& obs, S& err, double alpha,
                       scratch.begin() + static_cast<std::ptrdiff_t>(emitted));
       es[h] = err_sum;
       fs[h] = ((1.0 - alpha) * fs[h]) + (alpha * os[h]);
+    }
+    // Counters past the collect region (the compact backend's key-bit tail)
+    // take the identical per-element roll, just without the threshold scan.
+    if (const std::size_t tail = o.size() - H * K; tail != 0) {
+      simd::ewma_roll(f.data() + H * K, o.data() + H * K, e.data() + H * K,
+                      tail, alpha);
     }
     A::set_update_count(err, A::update_count(obs));
   }
@@ -242,7 +275,8 @@ void holt_roll_collect(S& level, S& trend, const S& obs, S& err, double alpha,
     auto ts = A::stage_sums(trend);
     auto es = A::stage_sums(err);
     const std::size_t H = os.size();
-    const std::size_t K = o.size() / H;
+    std::size_t K = o.size() / H;
+    if constexpr (HasCollectRegion<S>) K = obs.collect_cols();
     heavy.resize(H);
     auto& scratch = detail::collect_scratch(K);
     for (std::size_t h = 0; h < H; ++h) {
@@ -260,6 +294,10 @@ void holt_roll_collect(S& level, S& trend, const S& obs, S& err, double alpha,
       const double d_sum = nl_sum + (-1.0) * ls[h];
       ts[h] = ((1.0 - beta) * ts[h]) + (beta * d_sum);
       ls[h] = nl_sum;
+    }
+    if (const std::size_t tail = o.size() - H * K; tail != 0) {
+      simd::holt_roll(l.data() + H * K, t.data() + H * K, o.data() + H * K,
+                      e.data() + H * K, tail, alpha, beta);
     }
     A::set_update_count(err, A::update_count(obs));
   }
@@ -304,7 +342,8 @@ void ma_roll_collect(const S& sum, const S& obs, S& err, double inv_n,
     const auto ss = A::stage_sums(sum);
     auto es = A::stage_sums(err);
     const std::size_t H = os.size();
-    const std::size_t K = o.size() / H;
+    std::size_t K = o.size() / H;
+    if constexpr (HasCollectRegion<S>) K = obs.collect_cols();
     heavy.resize(H);
     auto& scratch = detail::collect_scratch(K);
     for (std::size_t h = 0; h < H; ++h) {
@@ -317,6 +356,10 @@ void ma_roll_collect(const S& sum, const S& obs, S& err, double inv_n,
       heavy[h].assign(scratch.begin(),
                       scratch.begin() + static_cast<std::ptrdiff_t>(emitted));
       es[h] = err_sum;
+    }
+    if (const std::size_t tail = o.size() - H * K; tail != 0) {
+      simd::ma_roll(s.data() + H * K, o.data() + H * K, e.data() + H * K,
+                    tail, inv_n);
     }
     A::set_update_count(err, A::update_count(obs));
   }

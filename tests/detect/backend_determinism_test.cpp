@@ -1,0 +1,276 @@
+// Backend-parametrized determinism suite: every SketchBackend must honor the
+// SAME contracts the reference reversible backend shipped with —
+//   * detection alerts bit-identical at every epoch thread count,
+//   * shared-nothing shard recording + COMBINE merge bit-identical to serial
+//     record() at every shard count (COMBINE linearity),
+//   * budget truncation a pure function of (bank, config) — identical at
+//     every thread count, and invisible when the budget never trips,
+//   * serialize/deserialize round-trip through the HFB wire frames exact.
+// Runs under TSan in CI (suite names are in the TSan filter).
+//
+// Set HIFIND_TEST_BACKEND=reversible|compact to restrict the suite to one
+// backend (the CI backend-matrix dimension); unset runs both.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "../testing/synthetic.hpp"
+#include "detect/hifind.hpp"
+#include "detect/parallel_recorder.hpp"
+#include "detect/sketch_bank.hpp"
+#include "detect/sketch_wire.hpp"
+#include "sketch/sketch_backend.hpp"
+
+namespace hifind {
+namespace {
+
+using testing::feed_completed;
+using testing::feed_flood;
+using testing::feed_hscan;
+using testing::feed_vscan;
+using testing::syn_packet;
+using testing::synack_packet;
+
+class BackendDeterminism
+    : public ::testing::TestWithParam<SketchBackendKind> {
+ protected:
+  void SetUp() override {
+    // CI backend-matrix dimension: one job per backend.
+    if (const char* only = std::getenv("HIFIND_TEST_BACKEND")) {
+      if (sketch_backend_name(GetParam()) != only) {
+        GTEST_SKIP() << "HIFIND_TEST_BACKEND=" << only;
+      }
+    }
+  }
+
+  SketchBankConfig bank_cfg() const {
+    SketchBankConfig c;
+    c.seed = 42;
+    c.backend = GetParam();
+    c.twod.x_buckets = 1u << 10;
+    // Small compact shapes keep the suite fast under TSan without changing
+    // any property being tested. Left at defaults on the reversible backend
+    // so its frames stay on plain HFB2 (asserted by WireRoundTripIsExact).
+    if (GetParam() == SketchBackendKind::kCompact) {
+      c.ci48.bucket_bits = 10;
+      c.ci64.bucket_bits = 10;
+    }
+    return c;
+  }
+
+  HifindDetectorConfig det_cfg(std::size_t epoch_threads,
+                               const EpochBudget& budget = {}) const {
+    HifindDetectorConfig c;
+    c.interval_seconds = 60;
+    c.syn_rate_threshold = 1.0;
+    c.min_persist_intervals = 2;
+    c.epoch_threads = epoch_threads;
+    c.budget = budget;
+    return c;
+  }
+
+  /// The epoch-determinism replay: 10 intervals of mixed attacks.
+  std::vector<IntervalResult> replay(std::size_t epoch_threads,
+                                     const EpochBudget& budget = {}) const {
+    SketchBank bank(bank_cfg());
+    HifindDetector detector(det_cfg(epoch_threads, budget));
+    Pcg32 rng(7, 11);
+    std::vector<IntervalResult> results;
+    const IPv4 victim(129, 105, 1, 1);
+    const IPv4 victim2(129, 105, 2, 2);
+    for (std::uint64_t interval = 0; interval < 10; ++interval) {
+      feed_completed(bank, IPv4(100, 1, 1, 1), victim, 80, 30);
+      feed_completed(bank, IPv4(100, 1, 1, 2), victim2, 443, 30);
+      feed_completed(bank, IPv4(100, 1, 1, 3), IPv4(129, 105, 1, 3), 22, 20);
+      if (interval >= 2) {
+        feed_flood(bank, victim, 80, 400, /*spoofed=*/true, rng);
+      }
+      if (interval >= 3 && interval <= 7) {
+        feed_flood(bank, victim2, 443, 300, /*spoofed=*/false, rng,
+                   IPv4(6, 6, 6, 6));
+      }
+      if (interval >= 4) {
+        feed_hscan(bank, IPv4(7, 7, 7, 7), 445, 250);
+        feed_vscan(bank, IPv4(8, 8, 8, 8), IPv4(129, 105, 9, 9), 250);
+      }
+      results.push_back(detector.process(bank, interval));
+      bank.clear();
+    }
+    return results;
+  }
+};
+
+void expect_identical(const std::vector<IntervalResult>& a,
+                      const std::vector<IntervalResult>& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].raw, b[i].raw) << what << " raw, interval " << i;
+    EXPECT_EQ(a[i].after_2d, b[i].after_2d)
+        << what << " after_2d, interval " << i;
+    EXPECT_EQ(a[i].final, b[i].final) << what << " final, interval " << i;
+    EXPECT_EQ(a[i].epoch, b[i].epoch) << what << " epoch, interval " << i;
+  }
+}
+
+void expect_bank_bit_identical(const SketchBank& a, const SketchBank& b) {
+  EXPECT_EQ(a.packets_recorded(), b.packets_recorded());
+  auto same = [](std::span<const double> x, std::span<const double> y) {
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(x[i], y[i]) << "counter " << i;
+    }
+  };
+  same(a.rs_sip_dport().counters(), b.rs_sip_dport().counters());
+  same(a.rs_dip_dport().counters(), b.rs_dip_dport().counters());
+  same(a.rs_sip_dip().counters(), b.rs_sip_dip().counters());
+  same(a.verif_sip_dport().counters(), b.verif_sip_dport().counters());
+  same(a.os_dip_dport().counters(), b.os_dip_dport().counters());
+  same(a.synack_history().counters(), b.synack_history().counters());
+}
+
+TEST_P(BackendDeterminism, ScenarioProducesAlerts) {
+  // Guard against vacuous equality: the scenario must alert on EVERY
+  // backend (heavy-key recall through the full pipeline).
+  const auto serial = replay(/*epoch_threads=*/1);
+  std::size_t raw = 0, fin = 0;
+  for (const auto& r : serial) {
+    raw += r.raw.size();
+    fin += r.final.size();
+  }
+  EXPECT_GT(raw, 0u);
+  EXPECT_GT(fin, 0u);
+}
+
+TEST_P(BackendDeterminism, AlertsBitIdenticalAcrossEpochThreadCounts) {
+  const auto serial = replay(/*epoch_threads=*/1);
+  expect_identical(serial, replay(2), "2 threads");
+  expect_identical(serial, replay(4), "4 threads");
+  expect_identical(serial, replay(8), "8 threads");
+}
+
+TEST_P(BackendDeterminism, BudgetTruncationPureAcrossThreadCounts) {
+  // A budget tight enough to truncate: the truncated alert stream must be
+  // the same pure function of (bank, config) at every thread count.
+  EpochBudget tight;
+  tight.deadline_ms = 1.0;
+  // The compact backend's REVERSE retires so little work that the
+  // reversible-calibrated cap never trips — tighten until it does; the
+  // property under test is purity of the truncation point, not its value.
+  tight.work_units_per_ms =
+      GetParam() == SketchBackendKind::kCompact ? 40.0 : 600.0;
+  tight.max_heavy_per_stage = 4;
+  const auto serial = replay(/*epoch_threads=*/1, tight);
+  bool any_truncated = false;
+  for (const auto& r : serial) any_truncated |= r.epoch.truncated;
+  EXPECT_TRUE(any_truncated) << "budget never tripped — test is vacuous";
+  expect_identical(serial, replay(2, tight), "2 threads");
+  expect_identical(serial, replay(4, tight), "4 threads");
+  expect_identical(serial, replay(8, tight), "8 threads");
+
+  // And a budget that never trips is invisible.
+  EpochBudget loose;
+  loose.deadline_ms = 1e6;
+  const auto unbudgeted = replay(/*epoch_threads=*/1);
+  const auto loose_run = replay(/*epoch_threads=*/1, loose);
+  ASSERT_EQ(unbudgeted.size(), loose_run.size());
+  for (std::size_t i = 0; i < unbudgeted.size(); ++i) {
+    EXPECT_EQ(unbudgeted[i].raw, loose_run[i].raw) << "interval " << i;
+    EXPECT_EQ(unbudgeted[i].final, loose_run[i].final) << "interval " << i;
+  }
+}
+
+TEST_P(BackendDeterminism, ShardMergeBitIdenticalToSerialRecording) {
+  // COMBINE linearity end-to-end: shared-nothing shard replicas reduced at
+  // seal equal serial record() of the same stream, bit for bit, at every
+  // shard count.
+  Pcg32 rng(0xacedULL);
+  std::vector<PacketRecord> stream;
+  const IPv4 victim(129, 105, 1, 1);
+  for (int i = 0; i < 12000; ++i) {
+    const std::uint32_t roll = rng.bounded(10);
+    if (roll < 4) {
+      const IPv4 client{rng.next()};
+      const auto sport =
+          static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+      stream.push_back(syn_packet(i, client, victim, 443, sport));
+      stream.push_back(synack_packet(i, victim, 443, client, sport));
+    } else if (roll < 8) {
+      stream.push_back(
+          syn_packet(i, IPv4{rng.next()}, victim, 80,
+                     static_cast<std::uint16_t>(rng.bounded(60000))));
+    } else {
+      stream.push_back(syn_packet(
+          i, IPv4(7, 7, 7, 7), IPv4{0x81690000u | (rng.next() & 0xffffu)},
+          445));
+    }
+  }
+
+  SketchBank serial(bank_cfg());
+  for (const auto& p : stream) serial.record(p);
+
+  for (const unsigned num_shards : {1u, 2u, 4u, 8u}) {
+    std::vector<std::unique_ptr<SketchBank>> banks;
+    std::vector<SketchBank*> shards;
+    for (unsigned i = 0; i < num_shards; ++i) {
+      banks.push_back(std::make_unique<SketchBank>(bank_cfg()));
+      shards.push_back(banks.back().get());
+    }
+    {
+      ShardedRecorder rec(shards, /*ring_capacity=*/64);
+      for (const auto& p : stream) rec.offer(p);
+      rec.drain();
+    }
+    SketchBank merged(bank_cfg());
+    merged.merge_shards(
+        std::span<const SketchBank* const>(shards.data(), shards.size()));
+    SCOPED_TRACE(std::to_string(num_shards) + " shards");
+    expect_bank_bit_identical(merged, serial);
+  }
+}
+
+TEST_P(BackendDeterminism, WireRoundTripIsExact) {
+  SketchBank bank(bank_cfg());
+  Pcg32 rng(5);
+  const IPv4 victim(129, 105, 1, 1);
+  feed_completed(bank, IPv4(100, 1, 1, 1), victim, 80, 40);
+  feed_flood(bank, victim, 80, 500, /*spoofed=*/true, rng);
+  feed_hscan(bank, IPv4(7, 7, 7, 7), 445, 200);
+
+  const auto bytes = serialize_frame(bank, /*router_id=*/3, /*interval=*/17);
+  const BankFrame frame = deserialize_frame(bytes);
+  EXPECT_EQ(frame.router_id, 3u);
+  EXPECT_EQ(frame.interval, 17u);
+  // The reversible backend stays on byte-compatible HFB2; only the compact
+  // backend needs the extended HFB3 config block.
+  const std::uint8_t expect_version =
+      GetParam() == SketchBackendKind::kReversible ? 2 : 3;
+  EXPECT_EQ(frame.version, expect_version);
+  EXPECT_EQ(frame.bank.config(), bank.config());
+  expect_bank_bit_identical(frame.bank, bank);
+
+  // Round-tripped banks must still COMBINE with the original (config
+  // equality is the combinability contract).
+  SketchBank sum(bank.config());
+  const std::vector<std::pair<double, const SketchBank*>> terms = {
+      {1.0, &bank}, {1.0, &frame.bank}};
+  sum.combine_into(std::span<const std::pair<double, const SketchBank*>>(
+      terms.data(), terms.size()));
+  EXPECT_EQ(sum.packets_recorded(), 2 * bank.packets_recorded());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendDeterminism,
+                         ::testing::Values(SketchBackendKind::kReversible,
+                                           SketchBackendKind::kCompact),
+                         [](const auto& info) {
+                           return std::string(
+                               sketch_backend_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace hifind

@@ -228,5 +228,84 @@ TEST(RefineAlerts, VerdictsArePureFunctionOfInputs) {
   EXPECT_EQ(a.report.killed, 1u);
 }
 
+std::vector<FlowCandidate> flood_candidates(std::size_t n,
+                                            std::uint64_t base) {
+  std::vector<FlowCandidate> c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] = {KeyKind::DipDport, base + i};
+  }
+  return c;
+}
+
+TEST(CandidateBloomGate, FloodInstallRateIsCappedToRepeatOffenders) {
+  // A flagged-key flood: 10k distinct candidates in one interval, none ever
+  // seen before. The Bloom gate must keep (almost) all of them out of the
+  // exact table — without it the flood would churn the full capacity
+  // through evict_stalest() every interval.
+  FlowRefineryConfig cfg = small_cfg(/*capacity=*/4096);
+  cfg.bloom_gate_min_candidates = 1024;
+  ActiveFlowTable table(cfg);
+
+  // A real attack key, flagged in the previous interval (benign load, no
+  // gate), must survive the flood untouched.
+  const std::uint64_t real_key = pack_ip_port(IPv4(1, 2, 3, 4), 80);
+  table.install({{KeyKind::DipDport, real_key}}, /*interval=*/0);
+  ASSERT_EQ(table.size(), 1u);
+
+  table.seal(/*interval=*/1);
+  table.install(flood_candidates(10000, /*base=*/1u << 20), /*interval=*/1);
+  // First sighting under flood: rejected wholesale (a handful of Bloom
+  // false positives notwithstanding), and the previously-installed key is
+  // still tracked.
+  EXPECT_GE(table.bloom_rejected(), 9900u);
+  EXPECT_LE(table.size(), 100u);
+
+  // Repeat offenders DO get in: the same flood next interval tests positive
+  // against the previous generation (up to the per-generation insert cap).
+  table.seal(/*interval=*/2);
+  table.install(flood_candidates(10000, /*base=*/1u << 20), /*interval=*/2);
+  EXPECT_GE(table.size(), 1000u);
+  EXPECT_LE(table.size(), cfg.capacity);
+}
+
+TEST(CandidateBloomGate, BenignInstallRatesAreUnaffected) {
+  FlowRefineryConfig cfg = small_cfg(/*capacity=*/4096);
+  cfg.bloom_gate_min_candidates = 1024;
+  ActiveFlowTable table(cfg);
+  // 100 first-sighting candidates — normal alert volume, below the gate
+  // threshold: every one installs exactly as before the filter existed.
+  table.install(flood_candidates(100, /*base=*/7), /*interval=*/0);
+  EXPECT_EQ(table.size(), 100u);
+  EXPECT_EQ(table.bloom_rejected(), 0u);
+}
+
+TEST(CandidateBloomGate, GateDisabledByZeroThreshold) {
+  FlowRefineryConfig cfg = small_cfg(/*capacity=*/100000);
+  cfg.bloom_gate_min_candidates = 0;
+  ActiveFlowTable table(cfg);
+  table.install(flood_candidates(10000, /*base=*/3), /*interval=*/0);
+  EXPECT_EQ(table.size(), 10000u);
+  EXPECT_EQ(table.bloom_rejected(), 0u);
+}
+
+TEST(CandidateBloomGate, FloodDecisionsAreDeterministic) {
+  // Two identical tables fed the identical flood make identical admission
+  // decisions — the gate may not add any run-to-run variance to the
+  // refinement pipeline.
+  FlowRefineryConfig cfg = small_cfg(/*capacity=*/4096);
+  cfg.bloom_gate_min_candidates = 64;
+  ActiveFlowTable a(cfg), b(cfg);
+  for (std::uint64_t interval = 0; interval < 4; ++interval) {
+    a.seal(interval);
+    b.seal(interval);
+    const auto flood = flood_candidates(5000, /*base=*/interval * 1000);
+    a.install(flood, interval);
+    b.install(flood, interval);
+    ASSERT_EQ(a.size(), b.size()) << "interval " << interval;
+    ASSERT_EQ(a.bloom_rejected(), b.bloom_rejected())
+        << "interval " << interval;
+  }
+}
+
 }  // namespace
 }  // namespace hifind
