@@ -5,6 +5,13 @@
 // hashing pipeline), and 5 per 2D sketch (one per matrix). We print both
 // accountings for every sketch in the bank: counter accesses (one bucket
 // read-modify-write per stage) and word-hash table reads.
+//
+// `--json` emits the same counts as one JSON object on stdout instead of
+// the table; bench/run_record_pipeline.py folds that into
+// BENCH_throughput.json so the access counts land next to the throughput
+// numbers they explain.
+#include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "common/table_printer.hpp"
@@ -12,6 +19,36 @@
 
 namespace hifind::bench {
 namespace {
+
+void run_json() {
+  const SketchBank bank{SketchBankConfig{}};
+  auto rs_counts = [&](const InvertibleSketch& rs, std::size_t* c,
+                       std::size_t* w) {
+    *c = rs.accesses_per_update();
+    *w = rs.kind() == SketchBackendKind::kReversible
+             ? rs.reversible().word_hash_reads_per_update()
+             : 0;
+  };
+  std::size_t c48 = 0, w48 = 0, c64 = 0, w64 = 0;
+  rs_counts(bank.rs_sip_dport(), &c48, &w48);
+  rs_counts(bank.rs_sip_dip(), &c64, &w64);
+  std::printf("{\n");
+  std::printf("  \"rs48_counter_accesses\": %zu,\n", c48);
+  std::printf("  \"rs48_word_hash_reads\": %zu,\n", w48);
+  std::printf("  \"rs48_total\": %zu,\n", c48 + w48);
+  std::printf("  \"rs64_counter_accesses\": %zu,\n", c64);
+  std::printf("  \"rs64_word_hash_reads\": %zu,\n", w64);
+  std::printf("  \"rs64_total\": %zu,\n", c64 + w64);
+  std::printf("  \"verif_kary\": %zu,\n",
+              bank.verif_sip_dport().accesses_per_update());
+  std::printf("  \"os_kary\": %zu,\n",
+              bank.os_dip_dport().accesses_per_update());
+  std::printf("  \"twod\": %zu,\n",
+              bank.twod_sipdip_dport().accesses_per_update());
+  std::printf("  \"bank_per_packet\": %zu,\n", bank.accesses_per_packet());
+  std::printf("  \"paper_rs48\": 15, \"paper_rs64\": 16, \"paper_2d\": 5\n");
+  std::printf("}\n");
+}
 
 void run() {
   const SketchBank bank{SketchBankConfig{}};
@@ -61,7 +98,11 @@ void run() {
 }  // namespace
 }  // namespace hifind::bench
 
-int main() {
-  hifind::bench::run();
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--json") == 0) {
+    hifind::bench::run_json();
+  } else {
+    hifind::bench::run();
+  }
   return 0;
 }

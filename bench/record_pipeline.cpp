@@ -35,16 +35,19 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "common/interval.hpp"
 #include "common/rng.hpp"
 #include "detect/overlapped.hpp"
 #include "detect/parallel_recorder.hpp"
 #include "detect/sketch_bank.hpp"
+#include "gen/scenario.hpp"
 #include "sketch/reversible_sketch.hpp"
 #include "sketch/sketch_ops.hpp"
 
@@ -384,6 +387,61 @@ void BM_UpdateBatchKary(benchmark::State& state) {
                           static_cast<std::int64_t>(ops.size()));
 }
 BENCHMARK(BM_UpdateBatchKary);
+
+// ---------------------------------------------------------------------------
+// Million-flow (TLB-stress) scenario: the gen/ preset whose spoofed floods
+// draw a fresh uniform 32-bit source per SYN, so the measured interval
+// carries `distinct` distinct client IPs. Recording it walks every sketch's
+// counter array at maximum entropy — the memory-hierarchy regime the
+// vectorized index precomputation and hugepage placement target.
+
+/// RecordOps of the preset's measured interval [120 s, 180 s). Cached per
+/// distinct-count: scenario synthesis costs far more than one bench pass.
+const std::vector<RecordOp>& million_flow_ops(std::size_t distinct) {
+  static std::map<std::size_t, std::vector<RecordOp>> cache;
+  auto it = cache.find(distinct);
+  if (it != cache.end()) return it->second;
+  const Scenario scenario = build_scenario(million_flow_config(7, distinct));
+  std::vector<RecordOp> ops;
+  ops.reserve(distinct + distinct / 4);
+  const Timestamp lo = Timestamp{120} * kMicrosPerSecond;
+  const Timestamp hi = Timestamp{180} * kMicrosPerSecond;
+  for (const PacketRecord& p : scenario.trace.packets()) {
+    if (p.ts < lo || p.ts >= hi) continue;
+    RecordOp op;
+    if (make_record_op(p, 1.0, op)) ops.push_back(op);
+  }
+  return cache.emplace(distinct, std::move(ops)).first->second;
+}
+
+void million_flow_bench(benchmark::State& state, BatchIndexMode mode) {
+  const auto& ops = million_flow_ops(static_cast<std::size_t>(state.range(0)));
+  SketchBank bank{SketchBankConfig{}};
+  set_batch_index_mode(mode);
+  for (auto _ : state) {
+    bank.record_ops(ops, SketchBank::kGroupAll);
+  }
+  set_batch_index_mode(BatchIndexMode::kVectorized);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ops.size()));
+  state.counters["distinct_clients"] = static_cast<double>(state.range(0));
+  state.counters["interval_ops"] = static_cast<double>(ops.size());
+}
+
+void BM_MillionFlowVectorized(benchmark::State& state) {
+  million_flow_bench(state, BatchIndexMode::kVectorized);
+}
+// 2^21 ~= 2.1M distinct clients is the headline row; 2^18 is the reduced
+// variant CI's bench smoke filters to (scenario synthesis stays ~seconds).
+BENCHMARK(BM_MillionFlowVectorized)
+    ->Arg(1 << 21)
+    ->Arg(1 << 18)
+    ->UseRealTime();
+
+void BM_MillionFlowLegacy(benchmark::State& state) {
+  million_flow_bench(state, BatchIndexMode::kLegacy);
+}
+BENCHMARK(BM_MillionFlowLegacy)->Arg(1 << 21)->Arg(1 << 18)->UseRealTime();
 
 }  // namespace
 }  // namespace hifind

@@ -75,10 +75,23 @@ class TabulationHash {
 
   /// Hash folded to the construction-time bucket count, dispatching to the
   /// shift fast path when that count is a power of two.
-  std::size_t bucket(std::uint64_t key) const {
-    if (shift_ < 64) return static_cast<std::size_t>(hash(key) >> shift_);
-    return bucket(key, buckets_);
+  std::size_t bucket(std::uint64_t key) const { return fold(hash(key)); }
+
+  /// Folds an already-computed hash() value to the construction-time bucket
+  /// count — exactly the fold bucket(key) applies. Batched index
+  /// precomputation hashes a whole block of keys through simd::tab_hash64
+  /// over table_data(), then folds each output here; the split is
+  /// bit-identical to per-key bucket() calls by construction.
+  std::size_t fold(std::uint64_t h) const {
+    if (shift_ < 64) return static_cast<std::size_t>(h >> shift_);
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(h) * buckets_) >> 64);
   }
+
+  /// The 8x256 byte table as a flat [byte][value] row-major array, laid out
+  /// for simd::tab_hash64 (row b holds the table XORed for key byte b, LSB
+  /// first — matching hash()'s `(key >> 8*b) & 0xff` extraction).
+  const std::uint64_t* table_data() const { return table_[0].data(); }
 
   /// The construction-time bucket count (1 when none was given).
   std::size_t fixed_buckets() const { return buckets_; }

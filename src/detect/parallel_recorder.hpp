@@ -275,6 +275,7 @@ class ShardedRecorder {
     explicit Shard(std::size_t capacity) : slots(capacity) {}
 
     std::vector<RecordOp> slots;
+    std::size_t index{0};  ///< shard position; read-only after construction
     /// Worker-side target bank. Relaxed atomics suffice for the same reason
     /// as ParallelRecorder::bank_: rebind() stores on the producer thread
     /// after drain(), and the worker loads only after acquiring a tail

@@ -194,6 +194,15 @@ class SketchBank {
   /// sketches (paper Sec. 5.5.2 accounting).
   std::size_t accesses_per_packet() const;
 
+  /// Best-effort NUMA binding of every sketch's counter array to `node`
+  /// (mem::bind_to_node over the ten counter spans; already-touched pages
+  /// migrate). Returns the number of ranges the kernel accepted — 0 when
+  /// NUMA placement is unavailable or disabled, which callers treat as
+  /// telemetry, not failure. The sharded recorder calls this from each
+  /// worker with the worker's own node, so shard replicas live local to the
+  /// core that writes them.
+  std::size_t bind_memory_to_node(int node);
+
   std::uint64_t packets_recorded() const { return packets_recorded_; }
 
  private:

@@ -89,9 +89,11 @@ Scenario build_scenario(const ScenarioConfig& config) {
     SynFloodSpec spec;
     spec.victim_ip = victim.ip;
     spec.victim_port = victim.port;
-    spec.duration = seconds(uniform_in(rng, 120, 360));
+    spec.duration = seconds(uniform_in(rng, config.spoofed_flood_duration_min,
+                                       config.spoofed_flood_duration_max));
     spec.start = place(rng, total, spec.duration);
-    spec.rate_pps = uniform_in(rng, 150, 800);
+    spec.rate_pps = uniform_in(rng, config.spoofed_flood_rate_min,
+                               config.spoofed_flood_rate_max);
     spec.spoofed = true;
     spec.label = "spoofed SYN flood";
     inject_syn_flood(spec, net, rng, scenario.trace, scenario.truth);
@@ -195,6 +197,38 @@ ScenarioConfig nu_like_config(std::uint64_t seed,
   c.num_flash_crowds = 2;
   c.num_misconfigs = 2;
   c.num_server_failures = 2;
+  return c;
+}
+
+ScenarioConfig million_flow_config(std::uint64_t seed,
+                                   std::size_t distinct_clients_per_interval) {
+  ScenarioConfig c;
+  c.seed = seed;
+  // 180 s = two warm-up intervals + one measured interval. Flood duration is
+  // pinned to 60 s, so place()'s 120 s lead puts every flood exactly in the
+  // measured window [120 s, 180 s).
+  c.duration_seconds = 180;
+  c.background_cps = 50.0;
+  c.num_spoofed_floods = 4;
+  // Rate such that the four floods together emit ~distinct_clients_per_
+  // interval spoofed SYNs per 60 s window; each draws a fresh uniform 32-bit
+  // source, so the distinct count tracks the emission count while it is
+  // << 2^32 (birthday collisions are <0.1% at 4M).
+  const double rate =
+      static_cast<double>(distinct_clients_per_interval) / (4.0 * 60.0);
+  c.spoofed_flood_rate_min = rate;
+  c.spoofed_flood_rate_max = rate;
+  c.spoofed_flood_duration_min = 60.0;
+  c.spoofed_flood_duration_max = 60.0;
+  // Pure ingest stress: no scans or benign anomalies — the point is the
+  // counter-memory working set, not detection variety.
+  c.num_fixed_floods = 0;
+  c.num_hscans = 0;
+  c.num_vscans = 0;
+  c.num_block_scans = 0;
+  c.num_flash_crowds = 0;
+  c.num_misconfigs = 0;
+  c.num_server_failures = 0;
   return c;
 }
 

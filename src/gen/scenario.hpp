@@ -28,6 +28,17 @@ struct ScenarioConfig {
 
   std::size_t num_spoofed_floods{4};
   std::size_t num_fixed_floods{3};
+
+  /// Spoofed-flood intensity/length draw ranges. Defaults reproduce the
+  /// original preset draws bit-exactly; the million-flow preset pins them so
+  /// per-interval distinct-source counts are a direct function of the knobs
+  /// (each spoofed packet draws a fresh uniform 32-bit source, so distinct
+  /// clients per interval ~= num_spoofed_floods * rate_pps * 60 while that
+  /// is << 2^32).
+  double spoofed_flood_rate_min{150.0};
+  double spoofed_flood_rate_max{800.0};
+  double spoofed_flood_duration_min{120.0};
+  double spoofed_flood_duration_max{360.0};
   std::size_t num_hscans{24};
   std::size_t num_vscans{6};
   std::size_t num_block_scans{1};
@@ -60,5 +71,16 @@ ScenarioConfig nu_like_config(std::uint64_t seed = 1,
 /// Preset mirroring the LBL trace's character (scan-heavy, no floods).
 ScenarioConfig lbl_like_config(std::uint64_t seed = 2,
                                std::uint32_t duration_seconds = 1800);
+
+/// TLB/memory-hierarchy stress preset: spoofed SYN floods sized so roughly
+/// `distinct_clients_per_interval` distinct client IPs hit the sketches in
+/// each 60 s interval (every spoofed SYN draws a fresh uniform 32-bit
+/// source). Duration is 180 s — two warm-up intervals plus one measured
+/// interval [120 s, 180 s) in which all floods run concurrently. This is the
+/// ROADMAP's millions-of-distinct-clients ingest scenario; the BM_MillionFlow
+/// bench variants and bench/million_flow_alerts drive it.
+ScenarioConfig million_flow_config(
+    std::uint64_t seed = 7,
+    std::size_t distinct_clients_per_interval = 2'000'000);
 
 }  // namespace hifind

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/mem_policy.hpp"
 #include "sketch/reverse_inference.hpp"
 #include "sketch/sketch_ops.hpp"
 
@@ -181,7 +182,7 @@ class CompactInvertibleSketch {
   CompactInvertibleConfig config_;
   std::vector<TabulationHash> hashes_;  // one full-key hash per stage
   std::size_t value_len_{0};            // H*K: size of the value region
-  std::vector<double> counters_;        // value region + bit region
+  mem::CounterVec counters_;            // value + bit regions; hugepage-backed
   std::vector<double> stage_sums_;      // value region only
   std::uint64_t update_count_{0};
 };

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/mem_policy.hpp"
 #include "sketch/sketch_ops.hpp"
 
 namespace hifind {
@@ -118,6 +119,10 @@ class KarySketch {
  private:
   friend struct SketchKernelAccess;  // fused kernels (sketch_kernels.hpp)
 
+  /// The original per-operand index loop (BatchIndexMode::kLegacy, and the
+  /// fallback for shapes the vectorized path's u32 flat indices can't hold).
+  void update_batch_legacy(std::span<const KeyDelta> ops);
+
   std::size_t bucket_index(std::size_t stage, std::uint64_t key) const {
     // Stage hashes are constructed with the bucket count, so this dispatches
     // to the power-of-two shift fast path for every standard config.
@@ -126,7 +131,7 @@ class KarySketch {
 
   KarySketchConfig config_;
   std::vector<TabulationHash> hashes_;  // one per stage
-  std::vector<double> counters_;        // stage-major, H*K
+  mem::CounterVec counters_;            // stage-major, H*K; hugepage-backed
   std::vector<double> stage_sums_;      // cached sum per stage
   std::uint64_t update_count_{0};
 };

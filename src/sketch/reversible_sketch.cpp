@@ -49,6 +49,23 @@ ReversibleSketch::ReversibleSketch(const ReversibleSketchConfig& config)
           nb);
     }
   }
+  // Flatten modular hashing for batched index precomputation: byte p of the
+  // mangled key (LSB first) is word w = q-1-p, whose sub-index occupies bits
+  // [nb*p, nb*(p+1)) of the bucket index. Sub-index ranges are disjoint, so
+  // the tab_hash64 XOR fold equals index_of_mangled()'s shift-or concat.
+  flat_tables_.assign(config_.num_stages * static_cast<std::size_t>(q) * 256,
+                      0);
+  for (std::size_t h = 0; h < config_.num_stages; ++h) {
+    for (int p = 0; p < q; ++p) {
+      const WordHash& wh = word_hash(h, q - 1 - p);
+      std::uint64_t* row =
+          flat_tables_.data() + (h * static_cast<std::size_t>(q) + p) * 256;
+      for (int v = 0; v < 256; ++v) {
+        row[v] = static_cast<std::uint64_t>(wh.map(static_cast<std::uint8_t>(v)))
+                 << (nb * p);
+      }
+    }
+  }
   counters_.assign(config_.num_stages * config_.num_buckets(), 0.0);
   stage_sums_.assign(config_.num_stages, 0.0);
 }
@@ -79,6 +96,61 @@ void ReversibleSketch::update(std::uint64_t key, double delta) {
 }
 
 void ReversibleSketch::update_batch(std::span<const KeyDelta> ops) {
+  if (batch_index_mode() == BatchIndexMode::kLegacy) {
+    update_batch_legacy(ops);
+    return;
+  }
+  // Vectorized index precomputation: mangle a whole chunk, then one
+  // tab_hash64 pass per stage over the flattened modular-hash tables yields
+  // every bucket index before any counter line is touched. The apply loop
+  // walks the flat u32 index array (op-major, stride H — max flat index
+  // H*K <= 8*2^28 < 2^32) with a sliding prefetch window, and adds deltas in
+  // the same per-op, per-stage order as scalar update() — bit-identical.
+  constexpr std::size_t kChunk = 256;
+  constexpr std::size_t kAhead = 16;  // ops of prefetch lead in the apply loop
+  const std::size_t H = config_.num_stages;
+  const std::size_t K = config_.num_buckets();
+  const int q = config_.num_words();
+  std::uint64_t mangled[kChunk];
+  std::uint64_t hbuf[kChunk];
+  std::uint32_t idx[kChunk * kMaxStages];
+  for (std::size_t base = 0; base < ops.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, ops.size() - base);
+    for (std::size_t j = 0; j < n; ++j) {
+      mangled[j] = mangler_.mangle(ops[base + j].key);
+    }
+    for (std::size_t h = 0; h < H; ++h) {
+      simd::tab_hash64(mangled, n,
+                       flat_tables_.data() + h * static_cast<std::size_t>(q) * 256,
+                       q, hbuf);
+      const std::size_t off = h * K;
+      for (std::size_t j = 0; j < n; ++j) {
+        idx[j * H + h] = static_cast<std::uint32_t>(off + hbuf[j]);
+      }
+    }
+    const std::size_t lead = std::min(kAhead, n);
+    for (std::size_t j = 0; j < lead; ++j) {
+      for (std::size_t h = 0; h < H; ++h) {
+        prefetch_write(&counters_[idx[j * H + h]]);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j + kAhead < n) {
+        for (std::size_t h = 0; h < H; ++h) {
+          prefetch_write(&counters_[idx[(j + kAhead) * H + h]]);
+        }
+      }
+      const double delta = ops[base + j].delta;
+      for (std::size_t h = 0; h < H; ++h) {
+        counters_[idx[j * H + h]] += delta;
+        stage_sums_[h] += delta;
+      }
+    }
+    update_count_ += n;
+  }
+}
+
+void ReversibleSketch::update_batch_legacy(std::span<const KeyDelta> ops) {
   constexpr std::size_t kBlock = 16;
   const std::size_t H = config_.num_stages;
   std::size_t idx[kBlock * kMaxStages];

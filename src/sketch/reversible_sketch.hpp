@@ -22,6 +22,7 @@
 
 #include "common/hash.hpp"
 #include "common/mangler.hpp"
+#include "common/mem_policy.hpp"
 #include "sketch/sketch_ops.hpp"
 
 namespace hifind {
@@ -137,10 +138,19 @@ class ReversibleSketch {
  private:
   friend struct SketchKernelAccess;  // fused kernels (sketch_kernels.hpp)
 
+  /// The original per-operand index loop (BatchIndexMode::kLegacy).
+  void update_batch_legacy(std::span<const KeyDelta> ops);
+
   ReversibleSketchConfig config_;
   KeyMangler mangler_;
   std::vector<WordHash> word_hashes_;  // stage-major, H*q
-  std::vector<double> counters_;       // stage-major, H*K
+  /// Modular hashing flattened into per-stage byte tables for
+  /// simd::tab_hash64: row p of stage h holds word_hash(h, q-1-p).map(v)
+  /// pre-shifted into its disjoint sub-index bit range, so the XOR fold over
+  /// key bytes (LSB first) reproduces index_of_mangled() exactly. Layout:
+  /// [stage][byte][value], H*q*256 entries.
+  std::vector<std::uint64_t> flat_tables_;
+  mem::CounterVec counters_;           // stage-major, H*K; hugepage-backed
   std::vector<double> stage_sums_;
   std::uint64_t update_count_{0};
 };

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sketch/sketch_ops.hpp"
+
 namespace hifind::simd {
 namespace detail {
 
@@ -103,6 +105,18 @@ std::size_t ma_roll_collect(const double* sum, const double* obs, double* err,
   return emitted;
 }
 
+void tab_hash64(const std::uint64_t* keys, std::size_t n,
+                const std::uint64_t* table, int nbytes, std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = keys[i];
+    std::uint64_t h = 0;
+    for (int b = 0; b < nbytes; ++b) {
+      h ^= table[b * 256 + ((k >> (8 * b)) & 0xff)];
+    }
+    out[i] = h;
+  }
+}
+
 }  // namespace scalar
 
 #if defined(HIFIND_HAVE_AVX2)
@@ -126,6 +140,8 @@ void ma_roll(const double* sum, const double* obs, double* err, std::size_t n,
 std::size_t ma_roll_collect(const double* sum, const double* obs, double* err,
                             std::size_t n, double inv_n, double cut,
                             std::uint32_t* out_idx);
+void tab_hash64(const std::uint64_t* keys, std::size_t n,
+                const std::uint64_t* table, int nbytes, std::uint64_t* out);
 }  // namespace avx2
 #endif
 
@@ -147,6 +163,8 @@ struct Backend {
   void (*ma_roll)(const double*, const double*, double*, std::size_t, double);
   std::size_t (*ma_roll_collect)(const double*, const double*, double*,
                                  std::size_t, double, double, std::uint32_t*);
+  void (*tab_hash64)(const std::uint64_t*, std::size_t, const std::uint64_t*,
+                     int, std::uint64_t*);
 };
 
 constexpr Backend kScalarBackend{
@@ -155,6 +173,7 @@ constexpr Backend kScalarBackend{
     scalar::ewma_roll,  scalar::ewma_roll_collect,
     scalar::holt_roll,  scalar::holt_roll_collect,
     scalar::ma_roll,    scalar::ma_roll_collect,
+    scalar::tab_hash64,
 };
 
 #if defined(HIFIND_HAVE_AVX2)
@@ -164,6 +183,7 @@ constexpr Backend kAvx2Backend{
     avx2::ewma_roll,    avx2::ewma_roll_collect,
     avx2::holt_roll,    avx2::holt_roll_collect,
     avx2::ma_roll,      avx2::ma_roll_collect,
+    avx2::tab_hash64,
 };
 #endif
 
@@ -243,6 +263,11 @@ std::size_t ma_roll_collect(const double* sum, const double* obs, double* err,
                                           out_idx);
 }
 
+void tab_hash64(const std::uint64_t* keys, std::size_t n,
+                const std::uint64_t* table, int nbytes, std::uint64_t* out) {
+  detail::active().tab_hash64(keys, n, table, nbytes, out);
+}
+
 const char* active_backend() { return detail::active().name; }
 
 void set_force_scalar(bool force) {
@@ -252,3 +277,19 @@ void set_force_scalar(bool force) {
 bool avx2_available() { return detail::cpu_has_avx2(); }
 
 }  // namespace hifind::simd
+
+namespace hifind {
+
+namespace {
+std::atomic<BatchIndexMode> g_batch_index_mode{BatchIndexMode::kVectorized};
+}  // namespace
+
+void set_batch_index_mode(BatchIndexMode mode) {
+  g_batch_index_mode.store(mode, std::memory_order_relaxed);
+}
+
+BatchIndexMode batch_index_mode() {
+  return g_batch_index_mode.load(std::memory_order_relaxed);
+}
+
+}  // namespace hifind

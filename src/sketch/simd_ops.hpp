@@ -78,6 +78,20 @@ std::size_t ma_roll_collect(const double* sum, const double* obs, double* err,
                             std::size_t n, double inv_n, double cut,
                             std::uint32_t* out_idx);
 
+/// Batched byte-table hash: out[i] = XOR over b < nbytes of
+/// table[b*256 + ((keys[i] >> 8*b) & 0xff)]. This is the shared shape of
+/// every bucket-index computation on the recording hot path: tabulation
+/// hashing XORs eight per-byte tables, and reversible-sketch modular
+/// hashing concatenates per-word sub-indices — which, with each sub-index
+/// pre-shifted into its disjoint bit range, IS an XOR fold over per-byte
+/// tables. The AVX2 backend gathers 4 keys' table entries per step; being
+/// pure integer arithmetic it is EXACTLY equal to the scalar backend (no
+/// FP-contraction caveats apply), so batch-index precomputation is
+/// bit-identical to per-op hashing by construction.
+/// `nbytes` must be in [1, 8]; `table` holds nbytes*256 entries.
+void tab_hash64(const std::uint64_t* keys, std::size_t n,
+                const std::uint64_t* table, int nbytes, std::uint64_t* out);
+
 /// Name of the active backend: "avx2" or "scalar".
 const char* active_backend();
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/mem_policy.hpp"
 #include "sketch/sketch_ops.hpp"
 
 namespace hifind {
@@ -111,6 +112,10 @@ class TwoDSketch {
  private:
   friend struct SketchKernelAccess;  // fused kernels (sketch_kernels.hpp)
 
+  /// The original per-operand index loop (BatchIndexMode::kLegacy, and the
+  /// fallback for shapes the vectorized path's u32 flat indices can't hold).
+  void update_batch_legacy(std::span<const KeyDelta2d> ops);
+
   std::size_t cell_index(std::size_t stage, std::uint64_t x_key,
                          std::uint64_t y_key) const {
     // Hashes carry their bucket counts (power-of-two fast path applies).
@@ -122,7 +127,7 @@ class TwoDSketch {
   Sketch2dConfig config_;
   std::vector<TabulationHash> x_hashes_;
   std::vector<TabulationHash> y_hashes_;
-  std::vector<double> cells_;  // stage-major, then column-major
+  mem::CounterVec cells_;  // stage-major, then column-major; hugepage-backed
   std::uint64_t update_count_{0};
 };
 

@@ -1,0 +1,206 @@
+// The vectorized batch-index precomputation (simd::tab_hash64 over the
+// flattened per-byte tables, sketch_ops.hpp BatchIndexMode) must yield
+// byte-identical (row,bucket) index sequences — and therefore bit-identical
+// counters and stage sums — to the legacy per-op index loops, for all three
+// sketch substrates, on both SIMD backends, including non-power-of-two
+// bucket counts (k-ary and 2D; the reversible sketch is power-of-two by
+// construction). The per-prefix tests pin the SEQUENCE, not just the final
+// state: after every single-op batch the counter arrays must agree, so a
+// vectorized path that hit the right buckets in the wrong per-op grouping
+// would be caught.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sketch/kary_sketch.hpp"
+#include "sketch/reversible_sketch.hpp"
+#include "sketch/simd_ops.hpp"
+#include "sketch/sketch2d.hpp"
+#include "sketch/sketch_ops.hpp"
+
+namespace hifind {
+namespace {
+
+/// Restores the default (vectorized) mode and the dispatched SIMD backend
+/// when a test exits, pass or fail.
+struct DispatchGuard {
+  ~DispatchGuard() {
+    set_batch_index_mode(BatchIndexMode::kVectorized);
+    simd::set_force_scalar(false);
+  }
+};
+
+std::vector<KeyDelta> random_ops(std::size_t n, std::uint64_t seed,
+                                 int key_bits) {
+  Pcg32 rng(seed);
+  const std::uint64_t mask = key_bits == 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << key_bits) - 1;
+  std::vector<KeyDelta> ops(n);
+  for (auto& op : ops) {
+    op.key = rng.next64() & mask;
+    op.delta = rng.chance(0.5) ? 1.0 : -1.0 / (1.0 + rng.bounded(8));
+  }
+  return ops;
+}
+
+const std::size_t kBatchSizes[] = {0, 1, 5, 16, 100, 255, 256, 257, 1000};
+const bool kForceScalar[] = {false, true};
+
+template <class Fn>
+void in_mode(BatchIndexMode mode, Fn&& fn) {
+  set_batch_index_mode(mode);
+  fn();
+  set_batch_index_mode(BatchIndexMode::kVectorized);
+}
+
+TEST(BatchIndexTest, ReversibleVectorizedMatchesLegacy) {
+  DispatchGuard guard;
+  for (const bool scalar_backend : kForceScalar) {
+    simd::set_force_scalar(scalar_backend);
+    for (const int key_bits : {48, 64}) {
+      // bucket_bits must spread evenly across the q = key_bits/8 words.
+      const ReversibleSketchConfig cfg{.key_bits = key_bits, .num_stages = 6,
+                                       .bucket_bits = key_bits == 48 ? 12 : 8,
+                                       .seed = 9};
+      for (const std::size_t n : kBatchSizes) {
+        const auto ops = random_ops(n, 100 + n, cfg.key_bits);
+        ReversibleSketch vec(cfg), legacy(cfg);
+        in_mode(BatchIndexMode::kVectorized, [&] { vec.update_batch(ops); });
+        in_mode(BatchIndexMode::kLegacy, [&] { legacy.update_batch(ops); });
+        const auto a = vec.counters();
+        const auto b = legacy.counters();
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          ASSERT_EQ(a[i], b[i]) << "scalar=" << scalar_backend
+                                << " bits=" << key_bits << " n=" << n
+                                << " counter " << i;
+        }
+        for (std::size_t h = 0; h < cfg.num_stages; ++h) {
+          ASSERT_EQ(vec.stage_sum(h), legacy.stage_sum(h));
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchIndexTest, KaryVectorizedMatchesLegacyIncludingNonPowerOfTwo) {
+  DispatchGuard guard;
+  for (const bool scalar_backend : kForceScalar) {
+    simd::set_force_scalar(scalar_backend);
+    // The 1u<<16 shape (6 stages x 64Ki buckets = 3 MiB) clears the
+    // kPrefetchMinBytes routing threshold, so vectorized mode actually takes
+    // the staged tab_hash64 path there; the smaller shapes pin the scalar
+    // small-footprint routing in both modes.
+    for (const std::uint32_t buckets : {1000u, 4097u, 1u << 14, 1u << 16}) {
+      const KarySketchConfig cfg{.num_stages = 6, .num_buckets = buckets,
+                                 .seed = 4};
+      for (const std::size_t n : kBatchSizes) {
+        const auto ops = random_ops(n, 200 + n, 64);
+        KarySketch vec(cfg), legacy(cfg);
+        in_mode(BatchIndexMode::kVectorized, [&] { vec.update_batch(ops); });
+        in_mode(BatchIndexMode::kLegacy, [&] { legacy.update_batch(ops); });
+        const auto a = vec.counters();
+        const auto b = legacy.counters();
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          ASSERT_EQ(a[i], b[i]) << "scalar=" << scalar_backend
+                                << " buckets=" << buckets << " n=" << n
+                                << " counter " << i;
+        }
+        for (std::size_t h = 0; h < cfg.num_stages; ++h) {
+          ASSERT_EQ(vec.stage_sum(h), legacy.stage_sum(h));
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchIndexTest, TwoDVectorizedMatchesLegacyIncludingNonPowerOfTwo) {
+  DispatchGuard guard;
+  for (const bool scalar_backend : kForceScalar) {
+    simd::set_force_scalar(scalar_backend);
+    for (const auto [xb, yb] : {std::pair{1000u, 48u}, std::pair{1u << 10, 64u},
+                                std::pair{4097u, 33u}}) {
+      const Sketch2dConfig cfg{.num_stages = 5, .x_buckets = xb,
+                               .y_buckets = yb, .seed = 8};
+      for (const std::size_t n : kBatchSizes) {
+        Pcg32 rng(300 + n);
+        std::vector<KeyDelta2d> ops(n);
+        for (auto& op : ops) {
+          op.x_key = rng.next64();
+          op.y_key = rng.bounded(1 << 16);
+          op.delta = rng.chance(0.5) ? 1.0 : -0.25;
+        }
+        TwoDSketch vec(cfg), legacy(cfg);
+        in_mode(BatchIndexMode::kVectorized, [&] { vec.update_batch(ops); });
+        in_mode(BatchIndexMode::kLegacy, [&] { legacy.update_batch(ops); });
+        const auto a = vec.cells();
+        const auto b = legacy.cells();
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          ASSERT_EQ(a[i], b[i]) << "scalar=" << scalar_backend << " x=" << xb
+                                << " y=" << yb << " n=" << n << " cell " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchIndexTest, PerOpPrefixSequencesIdentical) {
+  // Single-op batches, counters compared after EVERY op: equality of every
+  // prefix means the two paths touch the same (row,bucket) set for the same
+  // op, i.e. the index SEQUENCES are identical, not merely the final sums.
+  DispatchGuard guard;
+  for (const bool scalar_backend : kForceScalar) {
+    simd::set_force_scalar(scalar_backend);
+    {
+      const ReversibleSketchConfig cfg{.key_bits = 48, .num_stages = 4,
+                                       .bucket_bits = 12, .seed = 3};
+      const auto ops = random_ops(96, 17, cfg.key_bits);
+      ReversibleSketch vec(cfg), legacy(cfg);
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const std::span<const KeyDelta> one(&ops[i], 1);
+        in_mode(BatchIndexMode::kVectorized, [&] { vec.update_batch(one); });
+        in_mode(BatchIndexMode::kLegacy, [&] { legacy.update_batch(one); });
+        const auto a = vec.counters();
+        const auto b = legacy.counters();
+        for (std::size_t c = 0; c < a.size(); ++c) {
+          ASSERT_EQ(a[c], b[c]) << "rs op " << i << " counter " << c;
+        }
+      }
+    }
+    {
+      const KarySketchConfig cfg{.num_stages = 3, .num_buckets = 1000,
+                                 .seed = 5};
+      const auto ops = random_ops(96, 19, 64);
+      KarySketch vec(cfg), legacy(cfg);
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const std::span<const KeyDelta> one(&ops[i], 1);
+        in_mode(BatchIndexMode::kVectorized, [&] { vec.update_batch(one); });
+        in_mode(BatchIndexMode::kLegacy, [&] { legacy.update_batch(one); });
+        const auto a = vec.counters();
+        const auto b = legacy.counters();
+        for (std::size_t c = 0; c < a.size(); ++c) {
+          ASSERT_EQ(a[c], b[c]) << "kary op " << i << " counter " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchIndexTest, ModeToggleRoundTrips) {
+  DispatchGuard guard;
+  EXPECT_EQ(batch_index_mode(), BatchIndexMode::kVectorized);
+  set_batch_index_mode(BatchIndexMode::kLegacy);
+  EXPECT_EQ(batch_index_mode(), BatchIndexMode::kLegacy);
+  set_batch_index_mode(BatchIndexMode::kVectorized);
+  EXPECT_EQ(batch_index_mode(), BatchIndexMode::kVectorized);
+}
+
+}  // namespace
+}  // namespace hifind
